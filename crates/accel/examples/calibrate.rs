@@ -1,0 +1,301 @@
+//! Calibration harness for [`heteromap_accel::cost::Constants`].
+//!
+//! Default mode prints the per-combination winner matrix (best configuration
+//! on GPU vs best on multicore) against the paper's Fig. 11 expectations plus
+//! the headline geomeans. `--search` runs coordinate descent over the model
+//! constants to maximize agreement with the paper, printing the best constant
+//! set found (which is then frozen into `Constants::paper()`).
+
+use heteromap_accel::cost::{Constants, CostModel, WorkloadContext};
+use heteromap_accel::system::MultiAcceleratorSystem;
+use heteromap_graph::datasets::Dataset;
+use heteromap_model::mspace::MSpace;
+use heteromap_model::{Accelerator, MConfig, Workload};
+
+/// Expected winner per the paper's §VII-B prose. `G` = GPU, `M` = multicore,
+/// `.` = not specified / don't care.
+fn expected(w: Workload, d: Dataset) -> char {
+    use Dataset::*;
+    use Workload::*;
+    match (w, d) {
+        // Highly concurrent traversals fare well with the GPU (§VII-B),
+        // except DFS on the dense connectome (inner-loop parallelism on the
+        // multicore).
+        (SsspBf | Bfs | Dfs, UsaCal) => '.', // road GPUs vs cached Phi: unresolved in prose
+        (SsspBf | Bfs, _) => 'G',
+        (Dfs, MouseRetina) => 'M',
+        (Dfs, _) => 'G',
+        // Fig. 1: Δ-stepping on the road network is much faster on the
+        // multicore; on dense CAGE-14 the GPU wins ~3x. Frnd/Kron are the
+        // named large-graph exceptions.
+        (SsspDelta, UsaCal | Facebook | LiveJournal | RggN24) => 'M',
+        (SsspDelta, Cage14 | Friendster | KronLarge) => 'G',
+        (SsspDelta, Twitter | MouseRetina) => '.',
+        // FP benchmarks prefer the Phi; PR-CA is the named exception
+        // (no density for SIMD), Frnd/Kron the large-graph exceptions.
+        (PageRank, UsaCal) => 'G',
+        (PageRank, Friendster | KronLarge) => 'G',
+        (PageRank, Twitter) => '.',
+        (PageRank, _) => 'M',
+        (PageRankDp, Friendster | KronLarge) => 'G',
+        (PageRankDp, UsaCal | Twitter) => '.',
+        (PageRankDp, _) => 'M',
+        (TriangleCount | ConnComp, Facebook | LiveJournal | MouseRetina) => 'M',
+        (TriangleCount | ConnComp, Friendster | KronLarge) => 'G',
+        (Community, Friendster | KronLarge) => 'G',
+        (Community, Facebook | LiveJournal | MouseRetina | Cage14) => 'M',
+        _ => '.',
+    }
+}
+
+/// Extra weight for cells that embody explicitly-named paper claims
+/// (Fig. 1, Fig. 7, and the §VII-B exception sentences).
+fn cell_weight(w: Workload, d: Dataset) -> f64 {
+    use Dataset::*;
+    use Workload::*;
+    match (w, d) {
+        (SsspDelta, UsaCal) | (SsspDelta, Cage14) => 3.0, // Fig. 1
+        (SsspBf, Cage14) => 3.0,
+        (Dfs, MouseRetina) => 3.0,                        // named exception
+        (PageRank, UsaCal) => 3.0,                        // named exception
+        _ => 1.0,
+    }
+}
+
+struct Evaluation {
+    hits: f64,
+    total: f64,
+    gpu_speedup_pct: f64,
+    mc_speedup_pct: f64,
+    matrix: Vec<(Workload, Dataset, f64, f64)>, // best_gpu, best_mc
+}
+
+fn evaluate(constants: Constants, gpu_cfgs: &[MConfig], mc_cfgs: &[MConfig]) -> Evaluation {
+    let sys = MultiAcceleratorSystem::primary().with_model(CostModel::with_constants(constants));
+    let mut hits = 0.0;
+    let mut total = 0.0;
+    let mut matrix = Vec::new();
+    let (mut geo_best, mut geo_gpu, mut geo_mc, mut n) = (0.0, 0.0, 0.0, 0usize);
+    for w in Workload::all() {
+        for d in Dataset::all() {
+            let ctx = WorkloadContext::for_workload(w, d.stats());
+            let best_gpu = gpu_cfgs
+                .iter()
+                .map(|c| sys.deploy(&ctx, c).time_ms)
+                .fold(f64::INFINITY, f64::min);
+            let best_mc = mc_cfgs
+                .iter()
+                .map(|c| sys.deploy(&ctx, c).time_ms)
+                .fold(f64::INFINITY, f64::min);
+            let winner = if best_gpu <= best_mc { 'G' } else { 'M' };
+            let exp = expected(w, d);
+            if exp != '.' {
+                let wt = cell_weight(w, d);
+                total += wt;
+                if exp == winner {
+                    hits += wt;
+                }
+            }
+            geo_best += best_gpu.min(best_mc).ln();
+            geo_gpu += best_gpu.ln();
+            geo_mc += best_mc.ln();
+            n += 1;
+            matrix.push((w, d, best_gpu, best_mc));
+        }
+    }
+    let geo_best = (geo_best / n as f64).exp();
+    let geo_gpu = (geo_gpu / n as f64).exp();
+    let geo_mc = (geo_mc / n as f64).exp();
+    Evaluation {
+        hits,
+        total,
+        gpu_speedup_pct: (geo_gpu / geo_best - 1.0) * 100.0,
+        mc_speedup_pct: (geo_mc / geo_best - 1.0) * 100.0,
+        matrix,
+    }
+}
+
+fn score(e: &Evaluation) -> f64 {
+    // Winner agreement dominates; margin targets and headline geomeans
+    // (31% / 75%) pull magnitudes into the paper's regime: Fig. 11 shows the
+    // Phi losing GPU-biased combinations by large factors (it "performs
+    // poorly compared to a GPU" on SSSP/BFS/DFS) while multicore-biased wins
+    // are more moderate, and Fig. 1 shows SSSP-Delta on the road network
+    // losing by orders of magnitude on the GPU.
+    let winners = e.hits / e.total;
+    let mut margin = 0.0;
+    let mut margin_n = 0;
+    for &(w, d, g, m) in &e.matrix {
+        let exp = expected(w, d);
+        let target_ln = match (exp, w, d) {
+            ('M', Workload::SsspDelta, Dataset::UsaCal) => (8.0f64).ln(), // Fig. 1
+            ('G', Workload::SsspDelta, Dataset::Cage14) => (3.0f64).ln(), // Fig. 1
+            ('G', _, _) => (3.0f64).ln(),
+            ('M', _, _) => (2.0f64).ln(),
+            _ => continue,
+        };
+        // Positive when the expected machine wins by the target factor.
+        let actual_ln = if exp == 'G' {
+            (m / g).ln()
+        } else {
+            (g / m).ln()
+        };
+        margin += (1.0 - (actual_ln - target_ln).abs() / (10.0f64).ln()).clamp(0.0, 1.0);
+        margin_n += 1;
+    }
+    let margin = margin / margin_n.max(1) as f64;
+    let headline = 1.0
+        - ((e.gpu_speedup_pct - 31.0).abs() / 62.0 + (e.mc_speedup_pct - 75.0).abs() / 150.0)
+            .min(1.0);
+    winners * 3.0 + margin * 2.0 + headline * 1.5
+}
+
+type Field = (&'static str, fn(&mut Constants) -> &mut f64, f64, f64);
+
+fn fields() -> Vec<Field> {
+    vec![
+        ("edge_revisit_per_iter", |c| &mut c.edge_revisit_per_iter, 0.01, 0.5),
+        ("vertex_op_cost", |c| &mut c.vertex_op_cost, 0.1, 2.0),
+        ("gpu_launch_us", |c| &mut c.gpu_launch_us, 0.5, 40.0),
+        ("mc_barrier_us", |c| &mut c.mc_barrier_us, 0.2, 40.0),
+        ("gpu_divergence_pushpop", |c| &mut c.gpu_divergence_pushpop, 0.0, 0.8),
+        ("gpu_divergence_reduction", |c| &mut c.gpu_divergence_reduction, 0.0, 6.0),
+        ("gpu_indirect", |c| &mut c.gpu_indirect, 0.2, 6.0),
+        ("gpu_rw_shared", |c| &mut c.gpu_rw_shared, 0.1, 4.0),
+        ("mc_indirect", |c| &mut c.mc_indirect, 0.05, 2.0),
+        ("mc_atomic_cycles", |c| &mut c.mc_atomic_cycles, 1.0, 12.0),
+        ("gpu_atomic_cycles", |c| &mut c.gpu_atomic_cycles, 6.0, 80.0),
+        ("atomic_fraction", |c| &mut c.atomic_fraction, 0.05, 0.6),
+        ("dp_share", |c| &mut c.dp_share, 0.05, 0.45),
+        ("gpu_atomic_contention_threads", |c| &mut c.gpu_atomic_contention_threads, 32.0, 4096.0),
+        ("random_miss_base", |c| &mut c.random_miss_base, 0.02, 0.9),
+        ("gpu_stress", |c| &mut c.gpu_stress, 0.0, 2.0),
+        ("gpu_uncoalesce_divergent", |c| &mut c.gpu_uncoalesce_divergent, 0.0, 3.0),
+        ("gpu_uncoalesce_indirect", |c| &mut c.gpu_uncoalesce_indirect, 0.0, 4.0),
+        ("gpu_uncoalesce_skew", |c| &mut c.gpu_uncoalesce_skew, 0.3, 3.0),
+        ("chunk_overhead_ms", |c| &mut c.chunk_overhead_ms, 0.01, 5.0),
+        ("chunk_cut_penalty", |c| &mut c.chunk_cut_penalty, 0.0, 0.5),
+        ("line_share", |c| &mut c.line_share, 2.0, 16.0),
+        ("smt_yield", |c| &mut c.smt_yield, 0.05, 1.0),
+        ("thread_scaling_gamma", |c| &mut c.thread_scaling_gamma, 0.3, 1.0),
+        ("gpu_occupancy_threads", |c| &mut c.gpu_occupancy_threads, 1.0, 16.0),
+        ("locality_need_indirect", |c| &mut c.locality_need_indirect, 0.5, 6.0),
+        ("mc_ipc_scale", |c| &mut c.mc_ipc_scale, 0.4, 2.5),
+        ("mc_mlp_scale", |c| &mut c.mc_mlp_scale, 0.25, 4.0),
+        ("simd_boost_weight", |c| &mut c.simd_boost_weight, 0.0, 20.0),
+        ("mc_large_graph", |c| &mut c.mc_large_graph, 0.0, 6.0),
+    ]
+}
+
+fn descend(
+    mut best: Constants,
+    gpu_cfgs: &[MConfig],
+    mc_cfgs: &[MConfig],
+    verbose: bool,
+) -> (Constants, f64) {
+    let mut best_score = score(&evaluate(best, gpu_cfgs, mc_cfgs));
+    for round in 0..6 {
+        let mut improved = false;
+        for (name, get, lo, hi) in fields() {
+            for mult in [0.5, 0.8, 1.3, 2.2] {
+                let mut cand = best;
+                {
+                    let f = get(&mut cand);
+                    *f = (*f * mult).clamp(lo, hi);
+                }
+                let e = evaluate(cand, gpu_cfgs, mc_cfgs);
+                let s = score(&e);
+                if s > best_score + 1e-6 {
+                    best = cand;
+                    best_score = s;
+                    improved = true;
+                    if verbose {
+                        println!(
+                            "round {round}: {name} x{mult} -> hits {:.0}/{:.0} gpu {:.1}% mc {:.1}% score {:.4}",
+                            e.hits, e.total, e.gpu_speedup_pct, e.mc_speedup_pct, s
+                        );
+                    }
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    (best, best_score)
+}
+
+fn search(gpu_cfgs: &[MConfig], mc_cfgs: &[MConfig]) {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let (mut best, mut best_score) = descend(Constants::paper(), gpu_cfgs, mc_cfgs, true);
+    println!("descent from paper(): score {best_score:.4}");
+    let mut rng = StdRng::seed_from_u64(7);
+    for restart in 0..3 {
+        let mut seed = best;
+        for (_, get, lo, hi) in fields() {
+            let f = get(&mut seed);
+            let mult = rng.gen_range(0.4..2.5);
+            *f = (*f * mult).clamp(lo, hi);
+        }
+        let (cand, s) = descend(seed, gpu_cfgs, mc_cfgs, false);
+        println!("restart {restart}: score {s:.4}");
+        if s > best_score {
+            best = cand;
+            best_score = s;
+            println!("  -> new best");
+        }
+    }
+    let e = evaluate(best, gpu_cfgs, mc_cfgs);
+    print_matrix(&e);
+    println!("\nbest constants (score {best_score:.4}):\n{best:#?}");
+}
+
+fn print_matrix(e: &Evaluation) {
+    println!(
+        "{:<12} {}",
+        "",
+        Dataset::all()
+            .iter()
+            .map(|d| format!("{:>7}", d.abbrev()))
+            .collect::<String>()
+    );
+    let mut idx = 0;
+    for w in Workload::all() {
+        print!("{:<12}", w.abbrev());
+        for d in Dataset::all() {
+            let (_, _, g, m) = e.matrix[idx];
+            idx += 1;
+            let winner = if g <= m { 'G' } else { 'M' };
+            let exp = expected(w, d);
+            let ok = exp == '.' || exp == winner;
+            print!(
+                "{:>5}{}{}",
+                format!("{:.2}", g.min(m) / g.max(m)),
+                winner,
+                if ok { ' ' } else { '!' }
+            );
+        }
+        println!();
+    }
+    println!("\nwinner accuracy vs paper (weighted): {:.0}/{:.0}", e.hits, e.total);
+    println!(
+        "oracle speedup over GPU-only: {:.1}% (paper ~31%), over MC-only: {:.1}% (paper ~75%)",
+        e.gpu_speedup_pct, e.mc_speedup_pct
+    );
+}
+
+fn main() {
+    let space = MSpace::new();
+    let gpu_cfgs = space.enumerate_for(Accelerator::Gpu);
+    let mc_cfgs = space.enumerate_for(Accelerator::Multicore);
+    if std::env::args().any(|a| a == "--search") {
+        // Subsample the multicore space for search speed (every 9th config
+        // still covers all first-order dimension combinations coarsely).
+        let mc_sub: Vec<MConfig> = mc_cfgs.iter().copied().step_by(9).collect();
+        search(&gpu_cfgs, &mc_sub);
+    } else {
+        let e = evaluate(Constants::paper(), &gpu_cfgs, &mc_cfgs);
+        print_matrix(&e);
+    }
+}

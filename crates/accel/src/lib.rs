@@ -1,0 +1,39 @@
+//! Accelerator simulator substrate for the HeteroMap reproduction.
+//!
+//! The paper evaluates on physical accelerators (GTX-750Ti / GTX-970 GPUs,
+//! Xeon Phi 7120P, a 40-core Xeon). This crate replaces that hardware with a
+//! parameterized analytical simulator (the substitution is documented in
+//! DESIGN.md §2):
+//!
+//! * [`spec::AcceleratorSpec`] — published hardware parameters (Table II),
+//! * [`cost::CostModel`] — the `(B, I, M, spec) → (time, energy,
+//!   utilization)` model,
+//! * [`system::MultiAcceleratorSystem`] — the Fig. 2 GPU + multicore pair
+//!   with pinned discrete memories.
+//!
+//! # Example
+//!
+//! ```
+//! use heteromap_accel::cost::WorkloadContext;
+//! use heteromap_accel::system::MultiAcceleratorSystem;
+//! use heteromap_graph::datasets::Dataset;
+//! use heteromap_model::{MConfig, Workload};
+//!
+//! let sys = MultiAcceleratorSystem::primary();
+//! let ctx = WorkloadContext::for_workload(Workload::SsspBf, Dataset::Cage14.stats());
+//! let gpu = sys.deploy(&ctx, &MConfig::gpu_default());
+//! let phi = sys.deploy(&ctx, &MConfig::multicore_default());
+//! // Dense CAGE-14 maps optimally onto the GPU (paper Fig. 1).
+//! assert!(gpu.time_ms < phi.time_ms);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cost;
+pub mod spec;
+pub mod system;
+
+pub use cost::{CostModel, SimBreakdown, SimReport, WorkloadContext};
+pub use spec::{AcceleratorKind, AcceleratorSpec};
+pub use system::MultiAcceleratorSystem;

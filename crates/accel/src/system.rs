@@ -1,0 +1,186 @@
+//! The multi-accelerator system of Fig. 2: one GPU and one multicore with
+//! discrete memories, driven by a shared cost model.
+
+use crate::cost::{CostModel, SimReport, WorkloadContext};
+use crate::spec::AcceleratorSpec;
+use heteromap_model::{Accelerator, MConfig};
+
+/// A GPU + multicore pair with pinned per-accelerator memory sizes.
+///
+/// The paper pins "the main memory used by both accelerators ... to the
+/// smallest one available" for the primary setup, and sweeps sizes in the
+/// Fig. 16 sensitivity study — [`MultiAcceleratorSystem::with_memory`]
+/// reproduces that.
+///
+/// # Example
+///
+/// ```
+/// use heteromap_accel::system::MultiAcceleratorSystem;
+/// use heteromap_accel::cost::WorkloadContext;
+/// use heteromap_graph::datasets::Dataset;
+/// use heteromap_model::{MConfig, Workload};
+///
+/// let sys = MultiAcceleratorSystem::primary();
+/// let ctx = WorkloadContext::for_workload(Workload::Bfs, Dataset::Facebook.stats());
+/// let report = sys.deploy(&ctx, &MConfig::gpu_default());
+/// assert!(report.time_ms > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiAcceleratorSystem {
+    gpu: AcceleratorSpec,
+    multicore: AcceleratorSpec,
+    gpu_mem_gb: f64,
+    multicore_mem_gb: f64,
+    model: CostModel,
+}
+
+impl MultiAcceleratorSystem {
+    /// The paper's primary setup: GTX-750Ti + Xeon Phi 7120P, both pinned to
+    /// the smaller memory (2 GB).
+    pub fn primary() -> Self {
+        MultiAcceleratorSystem::new(
+            AcceleratorSpec::gtx_750ti(),
+            AcceleratorSpec::xeon_phi_7120p(),
+        )
+    }
+
+    /// Builds a system from any GPU/multicore pair; memory is pinned to the
+    /// smaller of the two capacities, as in the paper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gpu` is not a GPU or `multicore` is one.
+    pub fn new(gpu: AcceleratorSpec, multicore: AcceleratorSpec) -> Self {
+        assert!(gpu.is_gpu(), "first spec must be a GPU");
+        assert!(!multicore.is_gpu(), "second spec must be a multicore");
+        let pinned = gpu.mem_gb.min(multicore.mem_gb);
+        MultiAcceleratorSystem {
+            gpu,
+            multicore,
+            gpu_mem_gb: pinned,
+            multicore_mem_gb: pinned,
+            model: CostModel::paper(),
+        }
+    }
+
+    /// All four accelerator combinations evaluated in the paper (§VI-A).
+    pub fn paper_pairs() -> [MultiAcceleratorSystem; 4] {
+        [
+            MultiAcceleratorSystem::new(
+                AcceleratorSpec::gtx_750ti(),
+                AcceleratorSpec::xeon_phi_7120p(),
+            ),
+            MultiAcceleratorSystem::new(
+                AcceleratorSpec::gtx_970(),
+                AcceleratorSpec::xeon_phi_7120p(),
+            ),
+            MultiAcceleratorSystem::new(
+                AcceleratorSpec::gtx_750ti(),
+                AcceleratorSpec::cpu_40core(),
+            ),
+            MultiAcceleratorSystem::new(AcceleratorSpec::gtx_970(), AcceleratorSpec::cpu_40core()),
+        ]
+    }
+
+    /// Overrides the per-accelerator memory sizes (Fig. 16 sweeps).
+    pub fn with_memory(mut self, gpu_mem_gb: f64, multicore_mem_gb: f64) -> Self {
+        self.gpu_mem_gb = gpu_mem_gb;
+        self.multicore_mem_gb = multicore_mem_gb;
+        self
+    }
+
+    /// Replaces the cost model (ablations).
+    pub fn with_model(mut self, model: CostModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// The GPU spec.
+    pub fn gpu(&self) -> &AcceleratorSpec {
+        &self.gpu
+    }
+
+    /// The multicore spec.
+    pub fn multicore(&self) -> &AcceleratorSpec {
+        &self.multicore
+    }
+
+    /// The cost model in use.
+    pub fn model(&self) -> &CostModel {
+        &self.model
+    }
+
+    /// The spec a configuration's `M1` choice selects.
+    pub fn spec_for(&self, accelerator: Accelerator) -> &AcceleratorSpec {
+        match accelerator {
+            Accelerator::Gpu => &self.gpu,
+            Accelerator::Multicore => &self.multicore,
+        }
+    }
+
+    /// Pinned memory capacity for `accelerator` in GiB.
+    pub fn memory_gb(&self, accelerator: Accelerator) -> f64 {
+        match accelerator {
+            Accelerator::Gpu => self.gpu_mem_gb,
+            Accelerator::Multicore => self.multicore_mem_gb,
+        }
+    }
+
+    /// Deploys a benchmark-input combination with machine choices `cfg`: the
+    /// `M1` choice routes it to the GPU or the multicore, `M2..M20` configure
+    /// concurrency within it.
+    pub fn deploy(&self, ctx: &WorkloadContext, cfg: &MConfig) -> SimReport {
+        let spec = self.spec_for(cfg.accelerator);
+        self.model
+            .evaluate_with_memory(spec, ctx, cfg, self.memory_gb(cfg.accelerator))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heteromap_graph::datasets::Dataset;
+    use heteromap_model::Workload;
+
+    #[test]
+    fn primary_pins_memory_to_two_gb() {
+        let sys = MultiAcceleratorSystem::primary();
+        assert_eq!(sys.memory_gb(Accelerator::Gpu), 2.0);
+        assert_eq!(sys.memory_gb(Accelerator::Multicore), 2.0);
+    }
+
+    #[test]
+    fn deploy_routes_by_m1() {
+        let sys = MultiAcceleratorSystem::primary();
+        let ctx = WorkloadContext::for_workload(Workload::Bfs, Dataset::Facebook.stats());
+        let on_gpu = sys.deploy(&ctx, &MConfig::gpu_default());
+        let on_mc = sys.deploy(&ctx, &MConfig::multicore_default());
+        assert_ne!(on_gpu.time_ms, on_mc.time_ms);
+    }
+
+    #[test]
+    fn four_paper_pairs() {
+        let pairs = MultiAcceleratorSystem::paper_pairs();
+        assert_eq!(pairs.len(), 4);
+        assert_eq!(pairs[1].gpu().name, "GTX-970");
+        assert_eq!(pairs[2].multicore().name, "CPU-40-Core");
+    }
+
+    #[test]
+    #[should_panic(expected = "first spec must be a GPU")]
+    fn swapped_pair_panics() {
+        let _ = MultiAcceleratorSystem::new(
+            AcceleratorSpec::xeon_phi_7120p(),
+            AcceleratorSpec::gtx_750ti(),
+        );
+    }
+
+    #[test]
+    fn memory_override_changes_results_for_large_graphs() {
+        let ctx = WorkloadContext::for_workload(Workload::PageRank, Dataset::Friendster.stats());
+        let small = MultiAcceleratorSystem::primary().with_memory(1.0, 1.0);
+        let large = MultiAcceleratorSystem::primary().with_memory(16.0, 16.0);
+        let cfg = MConfig::multicore_default();
+        assert!(small.deploy(&ctx, &cfg).time_ms > large.deploy(&ctx, &cfg).time_ms);
+    }
+}

@@ -1,0 +1,34 @@
+//! Criterion bench: synthetic graph generation throughput (the training
+//! input pipeline of Table III).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use heteromap_graph::gen::{Grid, GraphGenerator, Kronecker, PowerLaw, RMat, UniformRandom};
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    group.sample_size(20);
+    group.bench_function("uniform_random_10k", |b| {
+        let g = UniformRandom::new(10_000, 80_000);
+        b.iter(|| black_box(g.generate(1).edge_count()))
+    });
+    group.bench_function("kronecker_2^13", |b| {
+        let g = Kronecker::new(13, 8.0);
+        b.iter(|| black_box(g.generate(1).edge_count()))
+    });
+    group.bench_function("rmat_2^13", |b| {
+        let g = RMat::new(13, 8.0, 0.45, 0.25, 0.15);
+        b.iter(|| black_box(g.generate(1).edge_count()))
+    });
+    group.bench_function("grid_100x100", |b| {
+        let g = Grid::new(100, 100);
+        b.iter(|| black_box(g.generate(1).edge_count()))
+    });
+    group.bench_function("power_law_10k", |b| {
+        let g = PowerLaw::new(10_000, 4);
+        b.iter(|| black_box(g.generate(1).edge_count()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

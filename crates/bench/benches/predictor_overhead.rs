@@ -1,0 +1,59 @@
+//! Criterion bench: per-inference latency of every predictor — the
+//! "Overhead (ms)" column of Table IV, measured natively.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use heteromap_accel::system::MultiAcceleratorSystem;
+use heteromap_graph::datasets::{Dataset, LiteratureMaxima};
+use heteromap_model::{Grid, IVector, Workload};
+use heteromap_predict::nn::TrainConfig;
+use heteromap_predict::{
+    AdaptiveLibrary, DecisionTree, NeuralPredictor, Predictor, RegressionPredictor, Trainer,
+};
+
+fn bench_predictors(c: &mut Criterion) {
+    // A small training database is enough to materialize the models; the
+    // inference cost does not depend on training size.
+    let trainer = Trainer::new(MultiAcceleratorSystem::primary());
+    let db = trainer.generate_database(60, 42);
+    let b = Workload::SsspDelta.b_vector();
+    let i = IVector::from_stats(
+        &Dataset::LiveJournal.stats(),
+        &LiteratureMaxima::paper(),
+        Grid::PAPER,
+    );
+
+    let mut group = c.benchmark_group("predictor_overhead");
+    let tree = DecisionTree::paper();
+    group.bench_function("decision_tree", |bench| {
+        bench.iter(|| tree.predict(black_box(&b), black_box(&i)))
+    });
+    let linear = RegressionPredictor::train_linear(&db);
+    group.bench_function("linear_regression", |bench| {
+        bench.iter(|| linear.predict(black_box(&b), black_box(&i)))
+    });
+    let multi = RegressionPredictor::train_multi(&db);
+    group.bench_function("multi_regression_o7", |bench| {
+        bench.iter(|| multi.predict(black_box(&b), black_box(&i)))
+    });
+    let adaptive = AdaptiveLibrary::train(&db);
+    group.bench_function("adaptive_library", |bench| {
+        bench.iter(|| adaptive.predict(black_box(&b), black_box(&i)))
+    });
+    for hidden in [16, 32, 64, 128] {
+        let nn = NeuralPredictor::train(
+            &db,
+            TrainConfig {
+                hidden,
+                epochs: 5,
+                ..TrainConfig::default()
+            },
+        );
+        group.bench_function(format!("deep_{hidden}"), |bench| {
+            bench.iter(|| nn.predict(black_box(&b), black_box(&i)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_predictors);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Ablation: autotuner refinement budget vs optimality gap — the trade-off
+//! behind the paper's "training takes several hours" OpenTuner pass.
+
+use heteromap_accel::cost::WorkloadContext;
+use heteromap_accel::system::MultiAcceleratorSystem;
+use heteromap_bench::{all_combos, geomean, TextTable};
+use heteromap_predict::Autotuner;
+
+fn main() {
+    let sys = MultiAcceleratorSystem::primary();
+    let combos = all_combos();
+    // Reference: the exhaustive tuner.
+    let reference: Vec<f64> = combos
+        .iter()
+        .map(|&(w, d)| {
+            let ctx = WorkloadContext::for_workload(w, d.stats());
+            Autotuner::exhaustive()
+                .tune(|c| sys.deploy(&ctx, c).time_ms)
+                .cost
+        })
+        .collect();
+
+    println!("Ablation: autotuner budget vs optimality gap (81 combinations)\n");
+    let mut t = TextTable::new(["coarse stride", "refine budget", "geomean gap(%)", "evals/combo"]);
+    for (stride, budget) in [(31usize, 0usize), (31, 20), (7, 0), (7, 40), (3, 80), (1, 200)] {
+        let tuner = Autotuner::exhaustive()
+            .with_coarse_stride(stride)
+            .with_refine_budget(budget);
+        let mut evals = 0usize;
+        let gaps: Vec<f64> = combos
+            .iter()
+            .zip(reference.iter())
+            .map(|(&(w, d), &best)| {
+                let ctx = WorkloadContext::for_workload(w, d.stats());
+                let r = tuner.tune(|c| sys.deploy(&ctx, c).time_ms);
+                evals += r.evaluations;
+                r.cost / best
+            })
+            .collect();
+        t.row([
+            stride.to_string(),
+            budget.to_string(),
+            format!("{:.1}", (geomean(&gaps) - 1.0) * 100.0),
+            (evals / combos.len()).to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("Gap is relative to the full exhaustive + 200-step-refined tuner.");
+}

@@ -1,0 +1,42 @@
+//! Ablation: regression polynomial order (the paper fits 7th order, noting
+//! lower orders lack accuracy and higher orders cost more multiplications).
+//!
+//! Usage: `ablation_poly_order [train_samples]` (default 400).
+
+use heteromap_accel::system::MultiAcceleratorSystem;
+use heteromap_bench::TextTable;
+use heteromap_predict::{Evaluator, Objective, RegressionPredictor, Trainer};
+
+fn main() {
+    let samples: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(400);
+    let system = MultiAcceleratorSystem::primary();
+    eprintln!("generating {samples}-sample training database...");
+    let db = Trainer::new(system.clone()).generate_database(samples, 42);
+    let evaluator = Evaluator::new(system, Objective::Performance);
+
+    println!("Ablation: regression order sweep (paper: 7th order fits best)\n");
+    let mut t = TextTable::new([
+        "order",
+        "features",
+        "train MSE",
+        "SpeedUp vs GPU(%)",
+        "Accuracy(%)",
+        "Overhead(ms)",
+    ]);
+    for order in [1u32, 2, 3, 5, 7, 9] {
+        let reg = RegressionPredictor::train(&db, order, 1e-4);
+        let r = evaluator.evaluate(&reg);
+        t.row([
+            order.to_string(),
+            (reg.flops_per_inference() / 20).to_string(),
+            format!("{:.4}", reg.mse(&db)),
+            format!("{:.1}", r.speedup_over_gpu_pct),
+            format!("{:.1}", r.accuracy_pct),
+            format!("{:.4}", r.overhead_ms),
+        ]);
+    }
+    println!("{}", t.render());
+}

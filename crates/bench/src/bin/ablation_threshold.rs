@@ -1,0 +1,24 @@
+//! Ablation: the decision-tree threshold. The paper fixes 0.5 ("the
+//! unbiased mid-point") and leaves tuning to future work; this sweep runs
+//! that future work.
+
+use heteromap_accel::system::MultiAcceleratorSystem;
+use heteromap_bench::TextTable;
+use heteromap_predict::{DecisionTree, Evaluator, Objective};
+
+fn main() {
+    let evaluator = Evaluator::new(MultiAcceleratorSystem::primary(), Objective::Performance);
+    println!("Ablation: decision-tree threshold sweep (paper default 0.5)\n");
+    let mut t = TextTable::new(["threshold", "SpeedUp vs GPU(%)", "Accuracy(%)", "Gap vs ideal(%)"]);
+    for tenths in 2..=8 {
+        let threshold = tenths as f64 / 10.0;
+        let r = evaluator.evaluate(&DecisionTree::with_threshold(threshold));
+        t.row([
+            format!("{threshold:.1}"),
+            format!("{:.1}", r.speedup_over_gpu_pct),
+            format!("{:.1}", r.accuracy_pct),
+            format!("{:.1}", r.gap_from_ideal_pct),
+        ]);
+    }
+    println!("{}", t.render());
+}

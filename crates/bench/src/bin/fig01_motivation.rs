@@ -1,0 +1,55 @@
+//! Regenerates **Fig. 1**: how input graph variations exhibit different
+//! performance within and across accelerators for (Δ-stepping) SSSP.
+//!
+//! Threads are swept from minimum to maximum on both accelerators for the
+//! sparse USA-Cal road network and the dense CAGE-14 matrix; completion
+//! time is reported per normalized thread level. The paper's shape: the
+//! multicore wins the road network by a wide margin, the GPU wins CAGE-14
+//! (~3x), and CAGE-14 on the GPU has an interior ("intermediate threading")
+//! optimum.
+
+use heteromap_accel::cost::WorkloadContext;
+use heteromap_accel::system::MultiAcceleratorSystem;
+use heteromap_bench::TextTable;
+use heteromap_graph::datasets::Dataset;
+use heteromap_model::{MConfig, Workload};
+
+fn main() {
+    println!("Fig. 1: SSSP-Delta thread sweep, sparse (CA) vs dense (CAGE)\n");
+    let sys = MultiAcceleratorSystem::primary();
+    let levels: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
+
+    for dataset in [Dataset::UsaCal, Dataset::Cage14] {
+        let ctx = WorkloadContext::for_workload(Workload::SsspDelta, dataset.stats());
+        println!("--- input: {} ---", dataset.full_name());
+        let mut t = TextTable::new(["threads(norm)", "GPU (ms)", "Xeon Phi (ms)"]);
+        let mut best = (f64::INFINITY, "");
+        for &l in &levels {
+            let mut gpu = MConfig::gpu_default();
+            gpu.global_threads = l;
+            let mut phi = MConfig::multicore_default();
+            phi.cores = l;
+            let g = sys.deploy(&ctx, &gpu).time_ms;
+            let m = sys.deploy(&ctx, &phi).time_ms;
+            if g < best.0 {
+                best = (g, "GPU");
+            }
+            if m < best.0 {
+                best = (m, "Xeon Phi");
+            }
+            t.row([
+                format!("{l:.1}"),
+                format!("{g:.2}"),
+                format!("{m:.2}"),
+            ]);
+        }
+        println!("{}", t.render());
+        println!("best: {} at {:.2} ms\n", best.1, best.0);
+    }
+    println!(
+        "Paper shape: USA-Cal's 850-hop diameter produces long dependency\n\
+         chains and divergence that cripple the GPU, so the multicore wins\n\
+         by a wide margin; CAGE-14's dense connectivity maps onto the GPU's\n\
+         thread surplus and wins there instead."
+    );
+}

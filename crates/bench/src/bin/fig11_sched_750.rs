@@ -1,0 +1,45 @@
+//! Regenerates **Fig. 11: Scheduler Comparisons for Graph Workload-Input
+//! Combinations** on the primary GTX-750Ti + Xeon Phi setup: per
+//! combination, completion time of the tuned Xeon-Phi-only and HeteroMap
+//! runs normalized to the tuned GPU-only run (higher is worse), plus the
+//! headline geomeans.
+//!
+//! Usage: `fig11_sched_750 [train_samples]` (default 400).
+
+use heteromap_accel::system::MultiAcceleratorSystem;
+use heteromap_bench::harness::SchedulerComparison;
+use heteromap_bench::TextTable;
+use heteromap_model::Workload;
+use heteromap_predict::Objective;
+
+fn main() {
+    let samples: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(400);
+    let system = MultiAcceleratorSystem::primary();
+    eprintln!("training Deep.128 on {samples} synthetic combinations...");
+    let cmp = SchedulerComparison::run(&system, Objective::Performance, samples, 42);
+
+    println!("Fig. 11: completion time normalized to the GTX-750Ti GPU run");
+    println!("(columns: Phi-only / HeteroMap / ideal; higher is worse)\n");
+    for w in Workload::all() {
+        let mut t = TextTable::new(["input", "XeonPhi", "HeteroMap", "ideal", "selected"]);
+        for r in cmp.rows_for(w) {
+            t.row([
+                r.dataset.abbrev().to_string(),
+                format!("{:.2}", r.multicore_only / r.gpu_only),
+                format!("{:.2}", r.heteromap / r.gpu_only),
+                format!("{:.2}", r.ideal / r.gpu_only),
+                r.selected.to_string(),
+            ]);
+        }
+        println!("--- {w} ---\n{}", t.render());
+    }
+    let (over_gpu, over_mc, gap) = cmp.headline();
+    println!(
+        "headline: HeteroMap is {over_gpu:.1}% better than GPU-only (paper ~31%),\n\
+         {over_mc:.1}% better than Phi-only (paper ~75%), and {gap:.1}% from the\n\
+         ideal (paper: within 10%)."
+    );
+}

@@ -1,0 +1,55 @@
+//! Regenerates **Fig. 13: Core Utilization benefits** — raw core
+//! utilization (%) averaged across inputs for each benchmark, for the
+//! Xeon-Phi-only, GPU-only, and HeteroMap runs.
+//!
+//! Usage: `fig13_utilization [train_samples]` (default 400).
+
+use heteromap_accel::system::MultiAcceleratorSystem;
+use heteromap_bench::harness::SchedulerComparison;
+use heteromap_bench::TextTable;
+use heteromap_model::Workload;
+use heteromap_predict::Objective;
+
+fn main() {
+    let samples: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(400);
+    let system = MultiAcceleratorSystem::primary();
+    eprintln!("training Deep.128 on {samples} synthetic combinations...");
+    let cmp = SchedulerComparison::run(&system, Objective::Performance, samples, 42);
+
+    println!("Fig. 13: core utilization (%) averaged across inputs\n");
+    let mut t = TextTable::new(["benchmark", "XeonPhi", "GPU", "HeteroMap"]);
+    let mut sums = (0.0, 0.0, 0.0);
+    for w in Workload::all() {
+        let rows = cmp.rows_for(w);
+        let n = rows.len() as f64;
+        let phi: f64 = rows.iter().map(|r| r.utilization_baselines.1).sum::<f64>() / n;
+        let gpu: f64 = rows.iter().map(|r| r.utilization_baselines.0).sum::<f64>() / n;
+        let hm: f64 = rows.iter().map(|r| r.utilization).sum::<f64>() / n;
+        sums.0 += phi;
+        sums.1 += gpu;
+        sums.2 += hm;
+        t.row([
+            w.abbrev().to_string(),
+            format!("{:.1}", phi * 100.0),
+            format!("{:.1}", gpu * 100.0),
+            format!("{:.1}", hm * 100.0),
+        ]);
+    }
+    let n = Workload::all().len() as f64;
+    t.row([
+        "mean".to_string(),
+        format!("{:.1}", sums.0 / n * 100.0),
+        format!("{:.1}", sums.1 / n * 100.0),
+        format!("{:.1}", sums.2 / n * 100.0),
+    ]);
+    println!("{}", t.render());
+    println!(
+        "Paper shape: Phi utilization is low on throughput-bound traversals\n\
+         (cores wait on low-locality memory); GPUs hide latency by thread\n\
+         switching; HeteroMap improves the mean (~20% in the paper) by\n\
+         selecting the accelerator and threading that keep cores busy."
+    );
+}

@@ -1,0 +1,98 @@
+//! Regenerates **Fig. 16: memory-size sensitivity** — geomean completion
+//! time across all 81 combinations for every (GPU memory, multicore memory)
+//! pair, for both the GPU–Xeon-Phi and GPU–40-core-CPU settings.
+//!
+//! The paper sweeps memories the accelerators support (GPUs to 2–4 GB, the
+//! Phi/CPU to 16 GB) and shows the multicore improving when exposed to its
+//! full memory, "forgoing the need for memory transfers".
+
+use heteromap_accel::cost::WorkloadContext;
+use heteromap_accel::{AcceleratorSpec, MultiAcceleratorSystem};
+use heteromap_bench::{all_combos, geomean, TextTable};
+use heteromap_model::mspace::MSpace;
+use heteromap_model::Accelerator;
+
+fn sweep(gpu: AcceleratorSpec, multicore: AcceleratorSpec, gpu_mems: &[f64], mc_mems: &[f64]) {
+    let space = MSpace::new();
+    let gpu_cfgs = space.enumerate_for(Accelerator::Gpu);
+    let mc_cfgs = space.enumerate_for(Accelerator::Multicore);
+    println!(
+        "--- {} + {} (geomean best-of-pair over 81 combos, ms) ---\n",
+        gpu.name, multicore.name
+    );
+    let mut header = vec![format!("GPU\\{}", multicore.name)];
+    header.extend(mc_mems.iter().map(|m| format!("{m:.0}GB")));
+    let mut t = TextTable::new(header);
+    let mut best_pair = (f64::INFINITY, 0.0, 0.0);
+    let mut worst = 0.0f64;
+    for &gm in gpu_mems {
+        let mut row = vec![format!("{gm:.0}GB")];
+        for &mm in mc_mems {
+            let sys = MultiAcceleratorSystem::new(gpu.clone(), multicore.clone())
+                .with_memory(gm, mm);
+            let times: Vec<f64> = all_combos()
+                .into_iter()
+                .map(|(w, d)| {
+                    let ctx = WorkloadContext::for_workload(w, d.stats());
+                    let bg = gpu_cfgs
+                        .iter()
+                        .map(|c| sys.deploy(&ctx, c).time_ms)
+                        .fold(f64::INFINITY, f64::min);
+                    let bm = mc_cfgs
+                        .iter()
+                        .map(|c| sys.deploy(&ctx, c).time_ms)
+                        .fold(f64::INFINITY, f64::min);
+                    bg.min(bm)
+                })
+                .collect();
+            let g = geomean(&times);
+            if g < best_pair.0 {
+                best_pair = (g, gm, mm);
+            }
+            worst = worst.max(g);
+            row.push(format!("{g:.1}"));
+        }
+        t.row(row);
+    }
+    println!("{}", t.render());
+    println!(
+        "best at (GPU {:.0} GB, MC {:.0} GB): {:.1} ms; worst/best spread {:.2}x\n",
+        best_pair.1,
+        best_pair.2,
+        best_pair.0,
+        worst / best_pair.0
+    );
+}
+
+fn main() {
+    println!("Fig. 16: memory-size sensitivity\n");
+    sweep(
+        AcceleratorSpec::gtx_750ti(),
+        AcceleratorSpec::xeon_phi_7120p(),
+        &[1.0, 2.0],
+        &[1.0, 2.0, 4.0, 8.0, 16.0],
+    );
+    sweep(
+        AcceleratorSpec::gtx_970(),
+        AcceleratorSpec::xeon_phi_7120p(),
+        &[1.0, 2.0, 4.0],
+        &[1.0, 2.0, 4.0, 8.0, 16.0],
+    );
+    sweep(
+        AcceleratorSpec::gtx_750ti(),
+        AcceleratorSpec::cpu_40core(),
+        &[1.0, 2.0],
+        &[1.0, 2.0, 4.0, 8.0, 16.0],
+    );
+    sweep(
+        AcceleratorSpec::gtx_970(),
+        AcceleratorSpec::cpu_40core(),
+        &[1.0, 2.0, 4.0],
+        &[1.0, 2.0, 4.0, 8.0, 16.0],
+    );
+    println!(
+        "Paper shape: enlarging the multicore's memory keeps improving the\n\
+         pair (big graphs stop streaming), while GPU memory saturates at its\n\
+         2-4 GB architectural limit."
+    );
+}

@@ -1,0 +1,51 @@
+//! Regenerates **Table III: Synthetic Input Datasets** and the Fig. 9
+//! synthetic benchmark examples used for offline training.
+
+use heteromap_bench::TextTable;
+use heteromap_predict::synth::{
+    fig9_examples, SyntheticBenchmarks, SyntheticFamily, SyntheticInputs,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    println!("Table III: Synthetic input datasets (sampled ranges)\n");
+    let mut rng = StdRng::seed_from_u64(11);
+    let gen = SyntheticInputs::table3();
+    for family in [SyntheticFamily::UniformRandom, SyntheticFamily::Kronecker] {
+        let mut vmin = u64::MAX;
+        let mut vmax = 0;
+        let mut emin = u64::MAX;
+        let mut emax = 0;
+        let mut dmin = f64::INFINITY;
+        let mut dmax = 0.0f64;
+        for _ in 0..500 {
+            let s = gen.sample_stats(family, &mut rng);
+            vmin = vmin.min(s.vertices);
+            vmax = vmax.max(s.vertices);
+            emin = emin.min(s.edges);
+            emax = emax.max(s.edges);
+            dmin = dmin.min(s.average_degree());
+            dmax = dmax.max(s.average_degree());
+        }
+        println!(
+            "{:?}: #V {:.1e}-{:.1e}  #E {:.1e}-{:.1e}  Avg.Deg {:.1}-{:.0}",
+            family, vmin as f64, vmax as f64, emin as f64, emax as f64, dmin, dmax
+        );
+    }
+    println!("(paper ranges: 16-65M vertices, 16-2B edges, avg degree 1-32K)\n");
+
+    println!("Fig. 9: example generated synthetic benchmarks\n");
+    for (k, ex) in fig9_examples().iter().enumerate() {
+        println!("Example {}: B = {}", k + 1, ex.b);
+    }
+
+    println!("\nRandom phase-mix samples (B1-5 sum to 1 on the 0.1 grid):\n");
+    let bench_gen = SyntheticBenchmarks::new();
+    let mut t = TextTable::new(["#", "B-profile"]);
+    for k in 0..6 {
+        let s = bench_gen.sample(&mut rng);
+        t.row([format!("{k}"), s.b.to_string()]);
+    }
+    println!("{}", t.render());
+}

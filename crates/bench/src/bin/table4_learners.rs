@@ -1,0 +1,101 @@
+//! Regenerates **Table IV: Learning Model Strategies** — speedup over the
+//! GTX-750 GPU baseline, choice accuracy vs the ideal, and measured
+//! prediction overhead for every learner the paper compares: the decision
+//! tree, linear and 7th-order regression, the adaptive library, and deep
+//! networks of width 16/32/64/128 (plus the energy-trained Deep.128).
+//!
+//! Training size is configurable: `table4_learners [samples]`
+//! (default 600; the paper uses millions of combinations over hours).
+
+use heteromap_accel::system::MultiAcceleratorSystem;
+use heteromap_bench::TextTable;
+use heteromap_predict::nn::TrainConfig;
+use heteromap_predict::{
+    AdaptiveLibrary, DecisionTree, Evaluator, NeuralPredictor, Objective, Predictor,
+    RegressionPredictor, Trainer,
+};
+
+fn main() {
+    let samples: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(600);
+    eprintln!("training database: {samples} autotuned synthetic combinations...");
+    let system = MultiAcceleratorSystem::primary();
+    let trainer = Trainer::new(system.clone());
+    let db = trainer.generate_database(samples, 42);
+    eprintln!("database ready; training learners...");
+
+    let tree = DecisionTree::paper();
+    let linear = RegressionPredictor::train_linear(&db);
+    let multi = RegressionPredictor::train_multi(&db);
+    let adaptive = AdaptiveLibrary::train(&db);
+    let deep: Vec<NeuralPredictor> = [16, 32, 64, 128]
+        .into_iter()
+        .map(|hidden| {
+            eprintln!("  training Deep.{hidden}...");
+            NeuralPredictor::train(
+                &db,
+                TrainConfig {
+                    hidden,
+                    ..TrainConfig::default()
+                },
+            )
+        })
+        .collect();
+
+    eprintln!("precomputing tuned baselines and ideal configurations...");
+    let evaluator = Evaluator::new(system.clone(), Objective::Performance);
+
+    let mut learners: Vec<&dyn Predictor> = vec![&tree, &linear, &multi, &adaptive];
+    for d in &deep {
+        learners.push(d);
+    }
+
+    println!("\nTable IV: Learning model strategies (speedup over the GTX-750");
+    println!("GPU-only baseline; accuracy vs the exhaustively tuned ideal)\n");
+    let mut t = TextTable::new(["Learner", "SpeedUp(%)", "Accuracy(%)", "Overhead(ms)"]);
+    let mut best_named = (String::new(), f64::NEG_INFINITY);
+    for l in &learners {
+        let r = evaluator.evaluate(*l);
+        if r.speedup_over_gpu_pct > best_named.1 {
+            best_named = (r.name.clone(), r.speedup_over_gpu_pct);
+        }
+        t.row([
+            r.name,
+            format!("{:.1}", r.speedup_over_gpu_pct),
+            format!("{:.1}", r.accuracy_pct),
+            format!("{:.4}", r.overhead_ms),
+        ]);
+    }
+    // The paper's extra row: Deep.128 trained for the energy objective.
+    eprintln!("training energy-objective Deep.128...");
+    let energy_db = Trainer::new(system.clone())
+        .with_objective(Objective::Energy)
+        .generate_database(samples, 43);
+    let deep_energy = NeuralPredictor::train(
+        &energy_db,
+        TrainConfig {
+            hidden: 128,
+            ..TrainConfig::default()
+        },
+    );
+    let energy_eval = Evaluator::new(system, Objective::Energy);
+    let r = energy_eval.evaluate(&deep_energy);
+    t.row([
+        "Deep.128 (energy)".to_string(),
+        format!("{:.1}", r.speedup_over_gpu_pct),
+        format!("{:.1}", r.accuracy_pct),
+        format!("{:.4}", r.overhead_ms),
+    ]);
+    println!("{}", t.render());
+    println!("best performing learner: {}", best_named.0);
+    println!(
+        "\nPaper shape: linear regression and the adaptive library miss the\n\
+         non-linear structure (low accuracy); the decision tree is cheapest;\n\
+         deeper networks gain accuracy and speedup at higher overhead, with\n\
+         Deep.128 best (paper: 31% speedup, 90.5% accuracy). Our overheads\n\
+         are microseconds (native Rust vs the paper's Python/C++ stack);\n\
+         the *ordering* across learners is the reproduced quantity."
+    );
+}

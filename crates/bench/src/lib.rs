@@ -1,0 +1,159 @@
+//! Shared harness for the table/figure regeneration binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure from the paper
+//! (see DESIGN.md §4 for the index); this library holds the pieces they
+//! share: geometric means, fixed-width table printing, and the standard
+//! evaluation grids.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod harness;
+
+use heteromap_graph::datasets::Dataset;
+use heteromap_model::Workload;
+
+/// Geometric mean of positive values (the paper's aggregate of choice).
+///
+/// # Panics
+///
+/// Panics if any value is non-positive.
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let ln_sum: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "geomean requires positive values, got {v}");
+            v.ln()
+        })
+        .sum();
+    (ln_sum / values.len() as f64).exp()
+}
+
+/// All 81 benchmark-input combinations in row-major (workload-major) order.
+pub fn all_combos() -> Vec<(Workload, Dataset)> {
+    Workload::all()
+        .into_iter()
+        .flat_map(|w| Dataset::all().into_iter().map(move |d| (w, d)))
+        .collect()
+}
+
+/// A fixed-width text table builder for figure/table output.
+#[derive(Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringified cells).
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self
+            .header
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; cols];
+        for (c, h) in self.header.iter().enumerate() {
+            widths[c] = widths[c].max(h.len());
+        }
+        for row in &self.rows {
+            for (c, cell) in row.iter().enumerate() {
+                widths[c] = widths[c].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(c, cell)| format!("{:>w$}", cell, w = widths[c]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        if !self.header.is_empty() {
+            out.push_str(&fmt_row(&self.header, &widths));
+            out.push('\n');
+            out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+            out.push('\n');
+        }
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float with 2 decimals (table cells).
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats a percentage with 1 decimal.
+pub fn pct(v: f64) -> String {
+    format!("{v:.1}%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_equal_values_is_the_value() {
+        assert!((geomean(&[3.0, 3.0, 3.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_is_between_min_and_max() {
+        let g = geomean(&[1.0, 100.0]);
+        assert!((g - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geomean_of_empty_is_zero() {
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geomean_rejects_zero() {
+        let _ = geomean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn all_combos_is_81() {
+        assert_eq!(all_combos().len(), 81);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(["name", "value"]);
+        t.row(["a", "1.00"]);
+        t.row(["longer", "2.50"]);
+        let s = t.render();
+        assert!(s.contains("name"));
+        assert!(s.lines().count() == 4);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f2(1.234), "1.23");
+        assert_eq!(pct(31.04), "31.0%");
+    }
+}

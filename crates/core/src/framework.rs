@@ -1,0 +1,207 @@
+//! The HeteroMap framework (Fig. 8): discretize → predict → deploy.
+
+use crate::report::Placement;
+use heteromap_accel::cost::WorkloadContext;
+use heteromap_accel::system::MultiAcceleratorSystem;
+use heteromap_graph::datasets::{Dataset, LiteratureMaxima};
+use heteromap_graph::GraphStats;
+use heteromap_model::{Grid, IVector, Workload};
+use heteromap_predict::nn::TrainConfig;
+use heteromap_predict::predictor::Objective;
+use heteromap_predict::{DecisionTree, NeuralPredictor, Predictor, Trainer};
+use std::time::Instant;
+
+/// The runtime performance predictor for a GPU + multicore pair.
+///
+/// Flow per Fig. 8: the programmer supplies a benchmark profile and input
+/// statistics (step 1), HeteroMap discretizes them into `(B, I)` and asks
+/// its predictor for the machine choices (step 2), then deploys the
+/// combination on the selected accelerator with the predicted
+/// intra-accelerator configuration (step 3).
+///
+/// # Example
+///
+/// ```
+/// use heteromap::HeteroMap;
+/// use heteromap_graph::datasets::Dataset;
+/// use heteromap_model::{Accelerator, Workload};
+///
+/// let hm = HeteroMap::with_decision_tree();
+/// let placement = hm.schedule(Workload::SsspBf, Dataset::UsaCal);
+/// // Fig. 7: the decision tree maps SSSP-BF on USA-Cal to the GPU.
+/// assert_eq!(placement.accelerator(), Accelerator::Gpu);
+/// ```
+pub struct HeteroMap {
+    system: MultiAcceleratorSystem,
+    predictor: Box<dyn Predictor + Send + Sync>,
+    maxima: LiteratureMaxima,
+    grid: Grid,
+}
+
+impl std::fmt::Debug for HeteroMap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HeteroMap")
+            .field("system", &self.system)
+            .field("predictor", &self.predictor.name())
+            .field("grid", &self.grid)
+            .finish()
+    }
+}
+
+impl HeteroMap {
+    /// HeteroMap on the primary setup (GTX-750Ti + Xeon Phi) with the §IV
+    /// decision-tree heuristic — no training required.
+    pub fn with_decision_tree() -> Self {
+        HeteroMap::new(MultiAcceleratorSystem::primary(), Box::new(DecisionTree::paper()))
+    }
+
+    /// HeteroMap on the primary setup with the paper's best learner
+    /// (Deep.128), trained offline on `samples` autotuned synthetic
+    /// combinations (§V). Takes seconds for a few hundred samples.
+    pub fn with_trained_deep(samples: usize, seed: u64) -> Self {
+        let system = MultiAcceleratorSystem::primary();
+        Self::train_deep_for(system, samples, seed, Objective::Performance)
+    }
+
+    /// Trains a Deep.128 HeteroMap for an arbitrary system/objective (the
+    /// paper re-learns models per accelerator change, §VII-D).
+    pub fn train_deep_for(
+        system: MultiAcceleratorSystem,
+        samples: usize,
+        seed: u64,
+        objective: Objective,
+    ) -> Self {
+        Self::train_deep_with(
+            system,
+            samples,
+            objective,
+            TrainConfig {
+                hidden: 128,
+                seed,
+                ..TrainConfig::default()
+            },
+        )
+    }
+
+    /// Trains a deep HeteroMap with explicit network hyper-parameters
+    /// (width ablations, fast test configurations).
+    pub fn train_deep_with(
+        system: MultiAcceleratorSystem,
+        samples: usize,
+        objective: Objective,
+        config: TrainConfig,
+    ) -> Self {
+        let trainer = Trainer::new(system.clone()).with_objective(objective);
+        let db = trainer.generate_database(samples, config.seed);
+        let nn = NeuralPredictor::train(&db, config);
+        HeteroMap::new(system, Box::new(nn))
+    }
+
+    /// Builds HeteroMap from parts.
+    pub fn new(
+        system: MultiAcceleratorSystem,
+        predictor: Box<dyn Predictor + Send + Sync>,
+    ) -> Self {
+        HeteroMap {
+            system,
+            predictor,
+            maxima: LiteratureMaxima::paper(),
+            grid: Grid::PAPER,
+        }
+    }
+
+    /// Replaces the normalization maxima (for non-Table-I corpora).
+    pub fn with_maxima(mut self, maxima: LiteratureMaxima) -> Self {
+        self.maxima = maxima;
+        self
+    }
+
+    /// The underlying multi-accelerator system.
+    pub fn system(&self) -> &MultiAcceleratorSystem {
+        &self.system
+    }
+
+    /// The active predictor's name.
+    pub fn predictor_name(&self) -> &str {
+        self.predictor.name()
+    }
+
+    /// Schedules a named paper workload on a Table I dataset.
+    pub fn schedule(&self, workload: Workload, dataset: Dataset) -> Placement {
+        let ctx = WorkloadContext::for_workload(workload, dataset.stats());
+        self.schedule_context(&ctx)
+    }
+
+    /// Schedules a named workload on arbitrary input statistics (e.g. a
+    /// streamed chunk or a generated graph).
+    pub fn schedule_stats(&self, workload: Workload, stats: GraphStats) -> Placement {
+        self.schedule_context(&WorkloadContext::for_workload(workload, stats))
+    }
+
+    /// Schedules a fully custom workload context (synthetic benchmarks).
+    pub fn schedule_context(&self, ctx: &WorkloadContext) -> Placement {
+        // Step 1: discretize the input into I variables.
+        let i = IVector::from_stats(&ctx.stats, &self.maxima, self.grid);
+        // Step 2: predict M choices (timed — the overhead is charged to the
+        // completion time, §V-A).
+        let start = Instant::now();
+        let config = self.predictor.predict(&ctx.b, &i);
+        let overhead_ms = start.elapsed().as_secs_f64() * 1e3;
+        // Step 3: deploy on the selected accelerator.
+        let mut report = self.system.deploy(ctx, &config);
+        report.time_ms += overhead_ms;
+        Placement {
+            config,
+            report,
+            predictor_overhead_ms: overhead_ms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heteromap_model::Accelerator;
+
+    #[test]
+    fn decision_tree_schedules_fig7_pair() {
+        let hm = HeteroMap::with_decision_tree();
+        let bf = hm.schedule(Workload::SsspBf, Dataset::UsaCal);
+        let delta = hm.schedule(Workload::SsspDelta, Dataset::UsaCal);
+        assert_eq!(bf.accelerator(), Accelerator::Gpu);
+        assert_eq!(delta.accelerator(), Accelerator::Multicore);
+        assert!(bf.report.time_ms > 0.0);
+    }
+
+    #[test]
+    fn overhead_is_charged_to_completion_time() {
+        let hm = HeteroMap::with_decision_tree();
+        let p = hm.schedule(Workload::Bfs, Dataset::Facebook);
+        assert!(p.predictor_overhead_ms >= 0.0);
+        let raw = hm
+            .system()
+            .deploy(
+                &WorkloadContext::for_workload(Workload::Bfs, Dataset::Facebook.stats()),
+                &p.config,
+            )
+            .time_ms;
+        assert!(p.report.time_ms >= raw);
+    }
+
+    #[test]
+    fn trained_deep_predictor_schedules_everything() {
+        // Small training run to keep the test fast.
+        let hm = HeteroMap::with_trained_deep(30, 7);
+        assert_eq!(hm.predictor_name(), "Deep.128");
+        for w in Workload::all() {
+            let p = hm.schedule(w, Dataset::LiveJournal);
+            assert!(p.report.time_ms.is_finite() && p.report.time_ms > 0.0, "{w}");
+        }
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let hm = HeteroMap::with_decision_tree();
+        assert!(format!("{hm:?}").contains("Decision Tree"));
+    }
+}

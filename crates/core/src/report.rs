@@ -1,0 +1,94 @@
+//! Scheduling decision and outcome types.
+
+use heteromap_accel::SimReport;
+use heteromap_model::{Accelerator, MConfig};
+use serde::{Deserialize, Serialize};
+
+/// One scheduling decision: the predicted machine configuration and the
+/// simulated outcome of deploying it (Fig. 8 steps 2–3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Placement {
+    /// The predicted machine choices (`M1..M20`).
+    pub config: MConfig,
+    /// Simulated completion time / energy / utilization of the deployment,
+    /// including the predictor's measured overhead.
+    pub report: SimReport,
+    /// Predictor inference latency in milliseconds (already included in
+    /// `report.time_ms`, as in §V-A).
+    pub predictor_overhead_ms: f64,
+}
+
+impl Placement {
+    /// The accelerator the combination was routed to.
+    pub fn accelerator(&self) -> Accelerator {
+        self.config.accelerator
+    }
+}
+
+/// Aggregated outcome of a chunked (streamed) execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamReport {
+    /// Per-chunk placements in temporal order.
+    pub chunks: Vec<Placement>,
+}
+
+impl StreamReport {
+    /// Total simulated completion time across chunks (chunks are processed
+    /// "one by one spatiotemporally", §VI-C, so times add).
+    pub fn total_time_ms(&self) -> f64 {
+        self.chunks.iter().map(|p| p.report.time_ms).sum()
+    }
+
+    /// Total energy across chunks.
+    pub fn total_energy_j(&self) -> f64 {
+        self.chunks.iter().map(|p| p.report.energy_j).sum()
+    }
+
+    /// Number of chunks routed to each accelerator `(gpu, multicore)`.
+    pub fn accelerator_split(&self) -> (usize, usize) {
+        let gpu = self
+            .chunks
+            .iter()
+            .filter(|p| p.accelerator() == Accelerator::Gpu)
+            .count();
+        (gpu, self.chunks.len() - gpu)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn placement(accel: Accelerator, time: f64) -> Placement {
+        let mut config = MConfig::gpu_default();
+        config.accelerator = accel;
+        Placement {
+            config,
+            report: SimReport {
+                time_ms: time,
+                energy_j: 2.0 * time,
+                utilization: 0.5,
+            },
+            predictor_overhead_ms: 0.01,
+        }
+    }
+
+    #[test]
+    fn stream_report_totals() {
+        let r = StreamReport {
+            chunks: vec![
+                placement(Accelerator::Gpu, 10.0),
+                placement(Accelerator::Multicore, 5.0),
+            ],
+        };
+        assert_eq!(r.total_time_ms(), 15.0);
+        assert_eq!(r.total_energy_j(), 30.0);
+        assert_eq!(r.accelerator_split(), (1, 1));
+    }
+
+    #[test]
+    fn placement_accessor() {
+        let p = placement(Accelerator::Multicore, 1.0);
+        assert_eq!(p.accelerator(), Accelerator::Multicore);
+    }
+}

@@ -1,0 +1,261 @@
+//! The paper's Table I evaluation datasets.
+//!
+//! We cannot ship Twitter or Friendster (billions of edges, proprietary
+//! crawls); instead each dataset carries its **published statistics** (which
+//! is all the `I` variables and the accelerator cost model consume) plus a
+//! **structural surrogate generator** that reproduces the dataset's shape —
+//! planar/long-diameter for roads, heavy-tailed/small-world for social
+//! networks, dense for the connectome — at a host-executable scale for the
+//! real threaded kernels. This substitution is documented in DESIGN.md §2.
+
+use crate::gen::{Grid, GraphGenerator, Kronecker, PowerLaw, UniformRandom};
+use crate::stats::GraphStats;
+use crate::CsrGraph;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One of the nine evaluation inputs from Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Dataset {
+    /// USA-Cal road network (CA): 1.9M vertices, 4.7M edges, diameter 850.
+    UsaCal,
+    /// Facebook social graph (FB): 2.9M vertices, 41.9M edges.
+    Facebook,
+    /// LiveJournal (LJ): 4.8M vertices, 85.7M edges.
+    LiveJournal,
+    /// Twitter follower graph (Twtr): 41.7M vertices, 1.47B edges.
+    Twitter,
+    /// Friendster (Frnd): 65.6M vertices, 1.81B edges.
+    Friendster,
+    /// Mouse Retina 3 connectome (CO): 562 vertices, 0.57M edges — dense.
+    MouseRetina,
+    /// CAGE-14 DNA electrophoresis matrix (CAGE): 1.5M vertices, 25.6M edges.
+    Cage14,
+    /// rgg-n-24 random geometric graph (Rgg): 16.8M vertices, diameter 2622.
+    RggN24,
+    /// Large Kronecker graph (Kron): 134M vertices, 2.15B edges.
+    KronLarge,
+}
+
+impl Dataset {
+    /// All nine Table I datasets in paper order.
+    pub fn all() -> [Dataset; 9] {
+        [
+            Dataset::UsaCal,
+            Dataset::Facebook,
+            Dataset::LiveJournal,
+            Dataset::Twitter,
+            Dataset::Friendster,
+            Dataset::MouseRetina,
+            Dataset::Cage14,
+            Dataset::RggN24,
+            Dataset::KronLarge,
+        ]
+    }
+
+    /// The paper's abbreviation (the x-axis labels of Figs. 11/14).
+    pub fn abbrev(&self) -> &'static str {
+        match self {
+            Dataset::UsaCal => "CA",
+            Dataset::Facebook => "FB",
+            Dataset::LiveJournal => "LJ",
+            Dataset::Twitter => "Twtr",
+            Dataset::Friendster => "Frnd",
+            Dataset::MouseRetina => "CO",
+            Dataset::Cage14 => "CAGE",
+            Dataset::RggN24 => "Rgg",
+            Dataset::KronLarge => "Kron",
+        }
+    }
+
+    /// Full dataset name as printed in Table I.
+    pub fn full_name(&self) -> &'static str {
+        match self {
+            Dataset::UsaCal => "USA-Cal",
+            Dataset::Facebook => "Facebook",
+            Dataset::LiveJournal => "Livejournal",
+            Dataset::Twitter => "Twitter",
+            Dataset::Friendster => "Friendster",
+            Dataset::MouseRetina => "Mouse Retina 3",
+            Dataset::Cage14 => "Cage14",
+            Dataset::RggN24 => "rgg-n-24",
+            Dataset::KronLarge => "KronLarge",
+        }
+    }
+
+    /// Published full-scale statistics (Table I). These drive the `I`
+    /// variables and the accelerator simulator; no giant download needed.
+    ///
+    /// Two diameters are garbled in the paper's table scan; CO uses 8 (stated
+    /// in the row) and CAGE uses 40, consistent with the text's "CAGE-14 ...
+    /// has a lower diameter" relative to USA-Cal's 850.
+    pub fn stats(&self) -> GraphStats {
+        match self {
+            Dataset::UsaCal => GraphStats::from_known(1_900_000, 4_700_000, 12, 850),
+            Dataset::Facebook => GraphStats::from_known(2_900_000, 41_900_000, 90_000, 12),
+            Dataset::LiveJournal => GraphStats::from_known(4_800_000, 85_700_000, 20_000, 16),
+            Dataset::Twitter => GraphStats::from_known(41_700_000, 1_470_000_000, 3_000_000, 5),
+            Dataset::Friendster => GraphStats::from_known(65_600_000, 1_810_000_000, 5_200, 32),
+            Dataset::MouseRetina => GraphStats::from_known(562, 570_000, 1_027, 8),
+            Dataset::Cage14 => GraphStats::from_known(1_500_000, 25_600_000, 80, 40),
+            Dataset::RggN24 => GraphStats::from_known(16_800_000, 387_000_000, 40, 2_622),
+            Dataset::KronLarge => GraphStats::from_known(134_000_000, 2_150_000_000, 16_000, 12),
+        }
+    }
+
+    /// A structural surrogate generator at roughly `target_vertices` scale.
+    ///
+    /// The surrogate preserves the dataset's *shape* — degree distribution
+    /// family, density regime, diameter regime — so that real kernel
+    /// executions on the surrogate exercise the same code paths the original
+    /// would (see DESIGN.md §2).
+    pub fn surrogate(&self, target_vertices: usize) -> Box<dyn GraphGenerator> {
+        let n = target_vertices.max(16);
+        match self {
+            // Roads and random-geometric graphs: planar lattices.
+            Dataset::UsaCal | Dataset::RggN24 => {
+                let side = (n as f64).sqrt().ceil() as usize;
+                Box::new(Grid::new(side, side))
+            }
+            // Social graphs: preferential attachment; attach scaled to the
+            // published average degree.
+            Dataset::Facebook => Box::new(PowerLaw::new(n, 7)),
+            Dataset::LiveJournal => Box::new(PowerLaw::new(n, 9)),
+            Dataset::Twitter => Box::new(PowerLaw::new(n, 17)),
+            Dataset::Friendster => Box::new(PowerLaw::new(n, 14)),
+            // Dense connectome: uniformly dense small graph. The original is
+            // tiny enough that we keep its true vertex count and density.
+            Dataset::MouseRetina => Box::new(UniformRandom::new(562, 570_000.min(n * 500))),
+            // Regular sparse matrix: uniform random with avg degree ~17.
+            Dataset::Cage14 => Box::new(UniformRandom::new(n, n * 17)),
+            // Kronecker stays Kronecker.
+            Dataset::KronLarge => {
+                let scale = (n as f64).log2().ceil() as u32;
+                Box::new(Kronecker::new(scale, 16.0))
+            }
+        }
+    }
+
+    /// Convenience: generate the surrogate graph directly.
+    pub fn surrogate_graph(&self, target_vertices: usize, seed: u64) -> CsrGraph {
+        self.surrogate(target_vertices).generate(seed)
+    }
+}
+
+impl fmt::Display for Dataset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abbrev())
+    }
+}
+
+/// Literature-wide maxima used for log-normalizing `I` variables (Section
+/// III-B): the largest vertex count, edge count, max degree, and diameter
+/// across the datasets "available in literature" — within Table I these are
+/// KronLarge (V, E), Twitter (max degree) and rgg-n-24 (diameter).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LiteratureMaxima {
+    /// Largest vertex count (KronLarge: 134M).
+    pub vertices: u64,
+    /// Largest edge count (KronLarge: 2.15B).
+    pub edges: u64,
+    /// Largest max-degree (Twitter: 3M).
+    pub max_degree: u64,
+    /// Largest diameter (rgg-n-24: 2622).
+    pub diameter: u64,
+}
+
+impl LiteratureMaxima {
+    /// The maxima over the paper's Table I.
+    pub fn paper() -> Self {
+        LiteratureMaxima {
+            vertices: 134_000_000,
+            edges: 2_150_000_000,
+            max_degree: 3_000_000,
+            diameter: 2_622,
+        }
+    }
+
+    /// Recomputes the maxima over an arbitrary set of stats (useful when
+    /// normalizing fleets of synthetic graphs).
+    pub fn from_stats<'a, S: IntoIterator<Item = &'a GraphStats>>(stats: S) -> Self {
+        let mut m = LiteratureMaxima {
+            vertices: 1,
+            edges: 1,
+            max_degree: 1,
+            diameter: 1,
+        };
+        for s in stats {
+            m.vertices = m.vertices.max(s.vertices);
+            m.edges = m.edges.max(s.edges);
+            m.max_degree = m.max_degree.max(s.max_degree);
+            m.diameter = m.diameter.max(s.diameter);
+        }
+        m
+    }
+}
+
+impl Default for LiteratureMaxima {
+    fn default() -> Self {
+        LiteratureMaxima::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_row_count_and_order() {
+        let all = Dataset::all();
+        assert_eq!(all.len(), 9);
+        assert_eq!(all[0].abbrev(), "CA");
+        assert_eq!(all[8].abbrev(), "Kron");
+    }
+
+    #[test]
+    fn paper_maxima_match_table1() {
+        let maxima = LiteratureMaxima::from_stats(Dataset::all().iter().map(|d| d.stats()).collect::<Vec<_>>().iter());
+        let paper = LiteratureMaxima::paper();
+        assert_eq!(maxima.vertices, paper.vertices);
+        assert_eq!(maxima.edges, paper.edges);
+        assert_eq!(maxima.max_degree, paper.max_degree);
+        assert_eq!(maxima.diameter, paper.diameter);
+    }
+
+    #[test]
+    fn road_surrogate_has_long_diameter_and_low_degree() {
+        let g = Dataset::UsaCal.surrogate_graph(900, 1);
+        let s = g.stats();
+        assert!(s.max_degree <= 4);
+        assert!(s.diameter >= 30, "diameter {}", s.diameter);
+    }
+
+    #[test]
+    fn social_surrogate_has_hubs_and_small_diameter() {
+        let g = Dataset::Twitter.surrogate_graph(1_000, 1);
+        let s = g.stats();
+        assert!(s.max_degree as f64 > 4.0 * s.average_degree());
+        assert!(s.diameter <= 10, "diameter {}", s.diameter);
+    }
+
+    #[test]
+    fn connectome_surrogate_is_dense() {
+        let g = Dataset::MouseRetina.surrogate_graph(562, 1);
+        let s = g.stats();
+        assert!(s.average_degree() > 50.0, "avg degree {}", s.average_degree());
+    }
+
+    #[test]
+    fn stats_match_published_headline_numbers() {
+        assert_eq!(Dataset::UsaCal.stats().diameter, 850);
+        assert_eq!(Dataset::Twitter.stats().max_degree, 3_000_000);
+        assert_eq!(Dataset::RggN24.stats().diameter, 2_622);
+        assert_eq!(Dataset::KronLarge.stats().edges, 2_150_000_000);
+    }
+
+    #[test]
+    fn display_uses_abbrev() {
+        assert_eq!(Dataset::Facebook.to_string(), "FB");
+    }
+}

@@ -1,0 +1,209 @@
+//! Edge-list representation used as the construction format for [`CsrGraph`].
+//!
+//! [`CsrGraph`]: crate::CsrGraph
+
+use crate::{GraphError, VertexId};
+
+/// A weighted directed edge list.
+///
+/// This is the mutable "staging" representation: generators append edges here
+/// and the result is frozen into a [`crate::CsrGraph`]. Weights default to
+/// `1.0` for unweighted algorithms; SSSP kernels use them directly.
+///
+/// # Example
+///
+/// ```
+/// use heteromap_graph::EdgeList;
+///
+/// let mut el = EdgeList::new(3);
+/// el.push(0, 1, 1.0);
+/// el.push(1, 2, 2.5);
+/// assert_eq!(el.len(), 2);
+/// let csr = el.into_csr().unwrap();
+/// assert_eq!(csr.vertex_count(), 3);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EdgeList {
+    vertex_count: usize,
+    sources: Vec<VertexId>,
+    targets: Vec<VertexId>,
+    weights: Vec<f32>,
+}
+
+impl EdgeList {
+    /// Creates an empty edge list over `vertex_count` vertices.
+    pub fn new(vertex_count: usize) -> Self {
+        EdgeList {
+            vertex_count,
+            sources: Vec::new(),
+            targets: Vec::new(),
+            weights: Vec::new(),
+        }
+    }
+
+    /// Creates an empty edge list with capacity for `edges` edges.
+    pub fn with_capacity(vertex_count: usize, edges: usize) -> Self {
+        EdgeList {
+            vertex_count,
+            sources: Vec::with_capacity(edges),
+            targets: Vec::with_capacity(edges),
+            weights: Vec::with_capacity(edges),
+        }
+    }
+
+    /// Number of vertices this edge list ranges over.
+    pub fn vertex_count(&self) -> usize {
+        self.vertex_count
+    }
+
+    /// Number of edges currently stored.
+    pub fn len(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Returns `true` if no edges are stored.
+    pub fn is_empty(&self) -> bool {
+        self.sources.is_empty()
+    }
+
+    /// Appends a directed edge `src -> dst` with `weight`.
+    ///
+    /// Out-of-range endpoints are detected later by [`EdgeList::into_csr`];
+    /// `push` itself never fails so generators can stay branch-free.
+    pub fn push(&mut self, src: VertexId, dst: VertexId, weight: f32) {
+        self.sources.push(src);
+        self.targets.push(dst);
+        self.weights.push(weight);
+    }
+
+    /// Appends both `src -> dst` and `dst -> src` with the same weight.
+    pub fn push_undirected(&mut self, a: VertexId, b: VertexId, weight: f32) {
+        self.push(a, b, weight);
+        self.push(b, a, weight);
+    }
+
+    /// Iterates over `(src, dst, weight)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (VertexId, VertexId, f32)> + '_ {
+        self.sources
+            .iter()
+            .zip(self.targets.iter())
+            .zip(self.weights.iter())
+            .map(|((&s, &t), &w)| (s, t, w))
+    }
+
+    /// Removes duplicate `(src, dst)` pairs, keeping the first weight seen,
+    /// and removes self-loops. Returns the number of edges removed.
+    pub fn dedup(&mut self) -> usize {
+        let before = self.len();
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        order.sort_unstable_by_key(|&i| (self.sources[i], self.targets[i]));
+        let mut keep = vec![false; self.len()];
+        let mut prev: Option<(VertexId, VertexId)> = None;
+        for &i in &order {
+            let key = (self.sources[i], self.targets[i]);
+            if key.0 == key.1 {
+                continue; // self-loop
+            }
+            if prev != Some(key) {
+                keep[i] = true;
+                prev = Some(key);
+            }
+        }
+        let mut j = 0;
+        for i in 0..self.len() {
+            if keep[i] {
+                self.sources[j] = self.sources[i];
+                self.targets[j] = self.targets[i];
+                self.weights[j] = self.weights[i];
+                j += 1;
+            }
+        }
+        self.sources.truncate(j);
+        self.targets.truncate(j);
+        self.weights.truncate(j);
+        before - j
+    }
+
+    /// Freezes the edge list into a [`crate::CsrGraph`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::VertexOutOfBounds`] if any endpoint is outside
+    /// `0..vertex_count`.
+    pub fn into_csr(self) -> Result<crate::CsrGraph, GraphError> {
+        crate::CsrGraph::from_edge_list(self)
+    }
+
+    /// Consumes the edge list, returning `(vertex_count, sources, targets, weights)`.
+    pub fn into_parts(self) -> (usize, Vec<VertexId>, Vec<VertexId>, Vec<f32>) {
+        (self.vertex_count, self.sources, self.targets, self.weights)
+    }
+}
+
+impl Extend<(VertexId, VertexId, f32)> for EdgeList {
+    fn extend<T: IntoIterator<Item = (VertexId, VertexId, f32)>>(&mut self, iter: T) {
+        for (s, t, w) in iter {
+            self.push(s, t, w);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_iterate() {
+        let mut el = EdgeList::new(4);
+        el.push(0, 1, 1.0);
+        el.push(2, 3, 4.0);
+        let edges: Vec<_> = el.iter().collect();
+        assert_eq!(edges, vec![(0, 1, 1.0), (2, 3, 4.0)]);
+    }
+
+    #[test]
+    fn undirected_pushes_both_directions() {
+        let mut el = EdgeList::new(2);
+        el.push_undirected(0, 1, 2.0);
+        assert_eq!(el.len(), 2);
+        let edges: Vec<_> = el.iter().collect();
+        assert!(edges.contains(&(0, 1, 2.0)));
+        assert!(edges.contains(&(1, 0, 2.0)));
+    }
+
+    #[test]
+    fn dedup_removes_duplicates_and_self_loops() {
+        let mut el = EdgeList::new(3);
+        el.push(0, 1, 1.0);
+        el.push(0, 1, 9.0); // duplicate
+        el.push(1, 1, 1.0); // self-loop
+        el.push(2, 0, 1.0);
+        let removed = el.dedup();
+        assert_eq!(removed, 2);
+        assert_eq!(el.len(), 2);
+        let pairs: Vec<_> = el.iter().map(|(s, t, _)| (s, t)).collect();
+        assert!(pairs.contains(&(0, 1)));
+        assert!(pairs.contains(&(2, 0)));
+    }
+
+    #[test]
+    fn dedup_on_empty_is_noop() {
+        let mut el = EdgeList::new(0);
+        assert_eq!(el.dedup(), 0);
+        assert!(el.is_empty());
+    }
+
+    #[test]
+    fn extend_collects_triples() {
+        let mut el = EdgeList::new(5);
+        el.extend(vec![(0, 1, 1.0), (1, 2, 1.0)]);
+        assert_eq!(el.len(), 2);
+    }
+
+    #[test]
+    fn with_capacity_starts_empty() {
+        let el = EdgeList::with_capacity(10, 100);
+        assert!(el.is_empty());
+        assert_eq!(el.vertex_count(), 10);
+    }
+}

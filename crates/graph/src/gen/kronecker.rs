@@ -1,0 +1,68 @@
+//! Stochastic Kronecker generator (Leskovec et al.), used by the paper for
+//! training inputs (Table III) and the `KronLarge` evaluation graph.
+
+use super::{GraphGenerator, RMat};
+use crate::CsrGraph;
+
+/// Stochastic Kronecker graph with the canonical initiator matrix
+/// `[[0.57, 0.19], [0.19, 0.05]]`, which is equivalent to R-MAT sampling with
+/// those quadrant probabilities.
+///
+/// # Example
+///
+/// ```
+/// use heteromap_graph::gen::{GraphGenerator, Kronecker};
+///
+/// let g = Kronecker::new(8, 16.0).generate(0);
+/// assert_eq!(g.vertex_count(), 256);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Kronecker {
+    inner: RMat,
+}
+
+impl Kronecker {
+    /// Creates a Kronecker generator with `2^scale` vertices and
+    /// `edge_factor * 2^scale` sampled edges.
+    pub fn new(scale: u32, edge_factor: f64) -> Self {
+        Kronecker {
+            inner: RMat::new(scale, edge_factor, 0.57, 0.19, 0.19),
+        }
+    }
+
+    /// Number of vertices (`2^scale`).
+    pub fn vertices(&self) -> usize {
+        self.inner.vertices()
+    }
+}
+
+impl GraphGenerator for Kronecker {
+    fn generate(&self, seed: u64) -> CsrGraph {
+        self.inner.generate(seed)
+    }
+
+    fn name(&self) -> &str {
+        "kronecker"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kronecker_matches_rmat_with_canonical_initiator() {
+        let k = Kronecker::new(7, 4.0).generate(13);
+        let r = RMat::new(7, 4.0, 0.57, 0.19, 0.19).generate(13);
+        assert_eq!(k.edge_count(), r.edge_count());
+        assert_eq!(k.max_degree(), r.max_degree());
+    }
+
+    #[test]
+    fn produces_low_diameter_graphs() {
+        // Kronecker graphs are small-world: diameter far below vertex count.
+        let g = Kronecker::new(10, 16.0).generate(4);
+        let s = g.stats();
+        assert!(s.diameter < 32, "diameter {} too large", s.diameter);
+    }
+}

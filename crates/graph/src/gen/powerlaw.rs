@@ -1,0 +1,116 @@
+//! Preferential-attachment generator — a structural surrogate for social
+//! networks (Facebook, LiveJournal, Twitter, Friendster in Table I).
+
+use super::GraphGenerator;
+use crate::{CsrGraph, EdgeList, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Barabási–Albert preferential attachment: each new vertex attaches to
+/// `attach` existing vertices chosen proportionally to current degree,
+/// producing the heavy-tailed degree distribution and tiny diameter that
+/// characterize the paper's social inputs (e.g. Twitter: max degree 3M,
+/// diameter 5).
+///
+/// # Example
+///
+/// ```
+/// use heteromap_graph::gen::{GraphGenerator, PowerLaw};
+///
+/// let g = PowerLaw::new(1_000, 4).generate(0);
+/// assert_eq!(g.vertex_count(), 1_000);
+/// assert!(g.max_degree() > 8); // hubs emerge
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PowerLaw {
+    vertices: usize,
+    attach: usize,
+}
+
+impl PowerLaw {
+    /// Creates a generator for `vertices` vertices, each attaching to
+    /// `attach` earlier vertices.
+    pub fn new(vertices: usize, attach: usize) -> Self {
+        PowerLaw { vertices, attach }
+    }
+
+    /// Target vertex count.
+    pub fn vertices(&self) -> usize {
+        self.vertices
+    }
+}
+
+impl GraphGenerator for PowerLaw {
+    fn generate(&self, seed: u64) -> CsrGraph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = self.vertices;
+        let m = self.attach.max(1);
+        let mut el = EdgeList::with_capacity(n, 2 * n * m);
+        // `ends` holds one entry per edge endpoint; sampling uniformly from it
+        // is sampling proportionally to degree.
+        let mut ends: Vec<VertexId> = Vec::with_capacity(2 * n * m);
+        let seedlings = (m + 1).min(n);
+        for i in 1..seedlings {
+            el.push_undirected(i as VertexId, (i - 1) as VertexId, 1.0);
+            ends.push(i as VertexId);
+            ends.push((i - 1) as VertexId);
+        }
+        for v in seedlings..n {
+            for _ in 0..m {
+                let t = ends[rng.gen_range(0..ends.len())];
+                if t == v as VertexId {
+                    continue;
+                }
+                let w = rng.gen_range(1.0f32..8.0f32);
+                el.push_undirected(v as VertexId, t, w);
+                ends.push(v as VertexId);
+                ends.push(t);
+            }
+        }
+        el.dedup();
+        el.into_csr().expect("power-law ids are in range")
+    }
+
+    fn name(&self) -> &str {
+        "power-law"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hubs_dominate_degree_distribution() {
+        let g = PowerLaw::new(2_000, 3).generate(1);
+        let s = g.stats();
+        // Max degree should be far above the average for power-law graphs.
+        assert!(
+            s.max_degree as f64 > 5.0 * s.average_degree(),
+            "max {} avg {}",
+            s.max_degree,
+            s.average_degree()
+        );
+    }
+
+    #[test]
+    fn small_world_diameter() {
+        let g = PowerLaw::new(2_000, 3).generate(2);
+        assert!(g.stats().diameter <= 16);
+    }
+
+    #[test]
+    fn handles_tiny_graphs() {
+        let g = PowerLaw::new(2, 3).generate(0);
+        assert_eq!(g.vertex_count(), 2);
+    }
+
+    #[test]
+    fn graph_is_connected_enough() {
+        // Preferential attachment grows a single component.
+        let g = PowerLaw::new(500, 2).generate(3);
+        let s = g.stats();
+        assert!(s.diameter >= 2);
+        assert!(s.edges > 0);
+    }
+}

@@ -1,0 +1,130 @@
+//! R-MAT recursive-matrix generator.
+
+use super::GraphGenerator;
+use crate::{CsrGraph, EdgeList, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// R-MAT generator (Chakrabarti et al.), the recursive-quadrant scheme behind
+/// the Graph500 / Kronecker inputs in the paper's Table III.
+///
+/// The adjacency matrix of a `2^scale`-vertex graph is subdivided recursively
+/// into quadrants chosen with probabilities `(a, b, c, d)` where
+/// `d = 1 - a - b - c`. Skewed parameters (`a ≫ d`) yield heavy-tailed degree
+/// distributions like social networks.
+///
+/// # Example
+///
+/// ```
+/// use heteromap_graph::gen::{GraphGenerator, RMat};
+///
+/// let g = RMat::new(8, 8.0, 0.57, 0.19, 0.19).generate(0);
+/// assert_eq!(g.vertex_count(), 256);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RMat {
+    scale: u32,
+    edge_factor: f64,
+    a: f64,
+    b: f64,
+    c: f64,
+}
+
+impl RMat {
+    /// Creates an R-MAT generator for `2^scale` vertices and
+    /// `edge_factor * 2^scale` edges with quadrant probabilities `(a, b, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a + b + c >= 1.0` or any probability is negative.
+    pub fn new(scale: u32, edge_factor: f64, a: f64, b: f64, c: f64) -> Self {
+        assert!(a >= 0.0 && b >= 0.0 && c >= 0.0 && a + b + c < 1.0);
+        RMat {
+            scale,
+            edge_factor,
+            a,
+            b,
+            c,
+        }
+    }
+
+    /// Number of vertices (`2^scale`).
+    pub fn vertices(&self) -> usize {
+        1usize << self.scale
+    }
+
+    fn sample_edge(&self, rng: &mut StdRng) -> (VertexId, VertexId) {
+        let (mut row, mut col) = (0u64, 0u64);
+        for level in (0..self.scale).rev() {
+            let bit = 1u64 << level;
+            let r: f64 = rng.gen();
+            if r < self.a {
+                // top-left: nothing
+            } else if r < self.a + self.b {
+                col |= bit;
+            } else if r < self.a + self.b + self.c {
+                row |= bit;
+            } else {
+                row |= bit;
+                col |= bit;
+            }
+        }
+        (row as VertexId, col as VertexId)
+    }
+}
+
+impl GraphGenerator for RMat {
+    fn generate(&self, seed: u64) -> CsrGraph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = self.vertices();
+        let m = (self.edge_factor * n as f64).round() as usize;
+        let mut el = EdgeList::with_capacity(n, m);
+        for _ in 0..m {
+            let (s, t) = self.sample_edge(&mut rng);
+            let w = rng.gen_range(1.0f32..16.0f32);
+            el.push(s, t, w);
+        }
+        el.dedup();
+        el.into_csr().expect("R-MAT ids are in range")
+    }
+
+    fn name(&self) -> &str {
+        "rmat"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertex_count_is_power_of_two() {
+        let g = RMat::new(7, 4.0, 0.57, 0.19, 0.19).generate(1);
+        assert_eq!(g.vertex_count(), 128);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_probabilities_panic() {
+        let _ = RMat::new(4, 4.0, 0.5, 0.3, 0.3);
+    }
+
+    #[test]
+    fn skewed_rmat_has_heavier_tail_than_uniform_quadrants() {
+        let skew = RMat::new(10, 8.0, 0.57, 0.19, 0.19).generate(5);
+        let flat = RMat::new(10, 8.0, 0.25, 0.25, 0.25).generate(5);
+        assert!(
+            skew.max_degree() > flat.max_degree(),
+            "skewed max {} should exceed flat max {}",
+            skew.max_degree(),
+            flat.max_degree()
+        );
+    }
+
+    #[test]
+    fn edge_factor_controls_edge_count_order() {
+        let small = RMat::new(8, 2.0, 0.57, 0.19, 0.19).generate(3);
+        let large = RMat::new(8, 16.0, 0.57, 0.19, 0.19).generate(3);
+        assert!(large.edge_count() > small.edge_count());
+    }
+}

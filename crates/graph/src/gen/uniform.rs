@@ -1,0 +1,109 @@
+//! Uniform random (Erdős–Rényi / GTgraph `random`) generator.
+
+use super::GraphGenerator;
+use crate::{CsrGraph, EdgeList, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Uniform random directed graph: `edges` edges drawn uniformly from
+/// `V × V`, self-loops and duplicates removed, matching GTgraph's random
+/// generator used for HeteroMap's training inputs (Table III).
+///
+/// # Example
+///
+/// ```
+/// use heteromap_graph::gen::{GraphGenerator, UniformRandom};
+///
+/// let g = UniformRandom::new(500, 2_000).generate(1);
+/// assert_eq!(g.vertex_count(), 500);
+/// assert!(g.edge_count() <= 2_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UniformRandom {
+    vertices: usize,
+    edges: usize,
+}
+
+impl UniformRandom {
+    /// Creates a generator for `vertices` vertices and (up to) `edges` edges.
+    pub fn new(vertices: usize, edges: usize) -> Self {
+        UniformRandom { vertices, edges }
+    }
+
+    /// Target vertex count.
+    pub fn vertices(&self) -> usize {
+        self.vertices
+    }
+
+    /// Target edge count (before dedup).
+    pub fn edges(&self) -> usize {
+        self.edges
+    }
+}
+
+impl GraphGenerator for UniformRandom {
+    fn generate(&self, seed: u64) -> CsrGraph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut el = EdgeList::with_capacity(self.vertices, self.edges);
+        if self.vertices > 1 {
+            for _ in 0..self.edges {
+                let s = rng.gen_range(0..self.vertices) as VertexId;
+                let t = rng.gen_range(0..self.vertices) as VertexId;
+                let w = rng.gen_range(1.0f32..16.0f32);
+                el.push(s, t, w);
+            }
+        }
+        el.dedup();
+        el.into_csr().expect("generated ids are in range")
+    }
+
+    fn name(&self) -> &str {
+        "uniform-random"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_vertex_count() {
+        let g = UniformRandom::new(100, 400).generate(3);
+        assert_eq!(g.vertex_count(), 100);
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let g = UniformRandom::new(50, 500).generate(9);
+        for v in 0..g.vertex_count() as VertexId {
+            assert!(!g.neighbors(v).contains(&v));
+        }
+    }
+
+    #[test]
+    fn no_duplicate_edges() {
+        let g = UniformRandom::new(30, 300).generate(11);
+        for v in 0..g.vertex_count() as VertexId {
+            let n = g.neighbors(v);
+            for w in n.windows(2) {
+                assert!(w[0] < w[1], "duplicate or unsorted neighbor");
+            }
+        }
+    }
+
+    #[test]
+    fn single_vertex_graph_has_no_edges() {
+        let g = UniformRandom::new(1, 100).generate(5);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn weights_are_positive() {
+        let g = UniformRandom::new(40, 200).generate(2);
+        for v in 0..g.vertex_count() as VertexId {
+            for &w in g.weights(v) {
+                assert!(w >= 1.0 && w < 16.0);
+            }
+        }
+    }
+}

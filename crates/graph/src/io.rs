@@ -1,0 +1,186 @@
+//! Plain-text edge-list I/O.
+//!
+//! The format is the de-facto standard the paper's dataset sources use
+//! (DIMACS/SNAP-style): one `src dst [weight]` triple per line, `#` or `%`
+//! comment lines ignored. Vertex ids are dense non-negative integers; the
+//! vertex count is `max id + 1` unless a larger count is supplied.
+
+use crate::edgelist::EdgeList;
+use crate::{CsrGraph, GraphError, VertexId};
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+/// Errors while reading an edge-list stream.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ReadError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A line could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+    /// The parsed edges referenced out-of-range vertices.
+    Graph(GraphError),
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadError::Io(e) => write!(f, "i/o error: {e}"),
+            ReadError::Parse { line, reason } => write!(f, "parse error at line {line}: {reason}"),
+            ReadError::Graph(e) => write!(f, "graph error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+impl From<io::Error> for ReadError {
+    fn from(e: io::Error) -> Self {
+        ReadError::Io(e)
+    }
+}
+
+impl From<GraphError> for ReadError {
+    fn from(e: GraphError) -> Self {
+        ReadError::Graph(e)
+    }
+}
+
+/// Reads an edge list from `reader`. Weights default to `1.0` when the
+/// third column is absent.
+///
+/// # Errors
+///
+/// Returns [`ReadError`] on I/O failures or malformed lines.
+pub fn read_edge_list<R: Read>(reader: R) -> Result<EdgeList, ReadError> {
+    let mut edges: Vec<(VertexId, VertexId, f32)> = Vec::new();
+    let mut max_id: u64 = 0;
+    for (idx, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let parse_id = |tok: Option<&str>, what: &str| -> Result<VertexId, ReadError> {
+            tok.ok_or_else(|| ReadError::Parse {
+                line: idx + 1,
+                reason: format!("missing {what}"),
+            })?
+            .parse::<VertexId>()
+            .map_err(|e| ReadError::Parse {
+                line: idx + 1,
+                reason: format!("bad {what}: {e}"),
+            })
+        };
+        let src = parse_id(it.next(), "source")?;
+        let dst = parse_id(it.next(), "target")?;
+        let weight = match it.next() {
+            Some(tok) => tok.parse::<f32>().map_err(|e| ReadError::Parse {
+                line: idx + 1,
+                reason: format!("bad weight: {e}"),
+            })?,
+            None => 1.0,
+        };
+        max_id = max_id.max(src as u64).max(dst as u64);
+        edges.push((src, dst, weight));
+    }
+    let n = if edges.is_empty() { 0 } else { max_id as usize + 1 };
+    let mut el = EdgeList::with_capacity(n, edges.len());
+    el.extend(edges);
+    Ok(el)
+}
+
+/// Reads an edge list and freezes it into a [`CsrGraph`].
+///
+/// # Errors
+///
+/// See [`read_edge_list`]; additionally surfaces CSR construction errors.
+pub fn read_csr<R: Read>(reader: R) -> Result<CsrGraph, ReadError> {
+    Ok(read_edge_list(reader)?.into_csr()?)
+}
+
+/// Writes `graph` as a `src dst weight` edge list.
+///
+/// # Errors
+///
+/// Returns any I/O error from the writer.
+pub fn write_edge_list<W: Write>(graph: &CsrGraph, mut writer: W) -> io::Result<()> {
+    writeln!(
+        writer,
+        "# heteromap edge list: {} vertices, {} edges",
+        graph.vertex_count(),
+        graph.edge_count()
+    )?;
+    for v in 0..graph.vertex_count() as VertexId {
+        for (t, w) in graph.edges(v) {
+            writeln!(writer, "{v} {t} {w}")?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{GraphGenerator, UniformRandom};
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let g = UniformRandom::new(80, 400).generate(3);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let back = read_csr(&buf[..]).unwrap();
+        assert_eq!(back.edge_count(), g.edge_count());
+        for v in 0..g.vertex_count() as VertexId {
+            assert_eq!(back.neighbors(v), g.neighbors(v), "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "# comment\n% another\n\n0 1\n1 2 3.5\n";
+        let g = read_csr(text.as_bytes()).unwrap();
+        assert_eq!(g.vertex_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.weights(0), &[1.0]); // default weight
+        assert_eq!(g.weights(1), &[3.5]);
+    }
+
+    #[test]
+    fn malformed_line_reports_line_number() {
+        let text = "0 1\nnot an edge\n";
+        match read_csr(text.as_bytes()) {
+            Err(ReadError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_target_is_an_error() {
+        let text = "42\n";
+        assert!(matches!(
+            read_csr(text.as_bytes()),
+            Err(ReadError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_input_gives_empty_graph() {
+        let g = read_csr("# nothing\n".as_bytes()).unwrap();
+        assert_eq!(g.vertex_count(), 0);
+    }
+
+    #[test]
+    fn error_display_mentions_line() {
+        let e = ReadError::Parse {
+            line: 9,
+            reason: "bad weight".into(),
+        };
+        assert!(e.to_string().contains("line 9"));
+    }
+}

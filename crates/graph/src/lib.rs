@@ -1,0 +1,121 @@
+//! Graph substrate for the HeteroMap reproduction.
+//!
+//! This crate provides everything HeteroMap needs from graphs:
+//!
+//! * a compact [`CsrGraph`] (compressed sparse row) representation built from
+//!   an [`EdgeList`],
+//! * synthetic graph generators (uniform random, Kronecker, R-MAT, road-like
+//!   grids, power-law social graphs) in [`gen`],
+//! * structural statistics ([`GraphStats`]) including an approximate diameter,
+//!   which feed the paper's `I` input variables,
+//! * the paper's Table I dataset registry ([`datasets`]) with scaled-down
+//!   structural surrogates for host execution,
+//! * Stinger-like chunk streaming ([`stream`]) for graphs larger than an
+//!   accelerator's memory, and a vertex-range [`partition`]er,
+//! * SNAP/DIMACS-style plain-text edge-list [`io`].
+//!
+//! # Example
+//!
+//! ```
+//! use heteromap_graph::gen::GraphGenerator;
+//! use heteromap_graph::gen::UniformRandom;
+//!
+//! let graph = UniformRandom::new(1_000, 8_000).generate(42);
+//! let stats = graph.stats();
+//! assert_eq!(stats.vertices, 1_000);
+//! assert!(stats.edges > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod csr;
+pub mod datasets;
+pub mod edgelist;
+pub mod gen;
+pub mod io;
+pub mod partition;
+pub mod stats;
+pub mod stream;
+
+pub use csr::CsrGraph;
+pub use edgelist::EdgeList;
+pub use stats::GraphStats;
+
+use std::error::Error;
+use std::fmt;
+
+/// Vertex identifier used across the crate.
+pub type VertexId = u32;
+
+/// Errors produced when constructing or manipulating graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An edge referenced a vertex id outside `0..vertex_count`.
+    VertexOutOfBounds {
+        /// The offending vertex id.
+        vertex: VertexId,
+        /// The number of vertices in the graph.
+        vertex_count: usize,
+    },
+    /// A generator was asked for an impossible configuration
+    /// (e.g. more edges than a simple graph can hold).
+    InvalidGeneratorConfig(String),
+    /// A requested chunk does not exist.
+    ChunkOutOfBounds {
+        /// The requested chunk index.
+        index: usize,
+        /// The number of chunks available.
+        chunk_count: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfBounds {
+                vertex,
+                vertex_count,
+            } => write!(
+                f,
+                "vertex {vertex} out of bounds for graph with {vertex_count} vertices"
+            ),
+            GraphError::InvalidGeneratorConfig(msg) => {
+                write!(f, "invalid generator configuration: {msg}")
+            }
+            GraphError::ChunkOutOfBounds { index, chunk_count } => {
+                write!(f, "chunk {index} out of bounds ({chunk_count} chunks)")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_is_nonempty() {
+        let e = GraphError::VertexOutOfBounds {
+            vertex: 7,
+            vertex_count: 3,
+        };
+        assert!(!e.to_string().is_empty());
+        let e = GraphError::InvalidGeneratorConfig("too many edges".into());
+        assert!(e.to_string().contains("too many edges"));
+        let e = GraphError::ChunkOutOfBounds {
+            index: 9,
+            chunk_count: 2,
+        };
+        assert!(e.to_string().contains('9'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

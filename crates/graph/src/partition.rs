@@ -1,0 +1,149 @@
+//! Vertex-range partitioning used by the chunk streamer.
+
+use crate::{CsrGraph, VertexId};
+
+/// A contiguous vertex range `[start, end)` with its edge count, produced by
+/// [`partition_by_edges`] so every chunk carries roughly equal work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VertexRange {
+    /// First vertex in the range.
+    pub start: VertexId,
+    /// One past the last vertex in the range.
+    pub end: VertexId,
+    /// Number of edges whose source lies in the range.
+    pub edges: usize,
+}
+
+impl VertexRange {
+    /// Number of vertices in the range.
+    pub fn len(&self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    /// Returns `true` for an empty range.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// Splits `graph` into contiguous vertex ranges, each holding at most
+/// `max_edges` out-edges (except that a single vertex with more than
+/// `max_edges` edges still gets its own chunk — chunks are never empty).
+///
+/// # Panics
+///
+/// Panics if `max_edges == 0`.
+pub fn partition_by_edges(graph: &CsrGraph, max_edges: usize) -> Vec<VertexRange> {
+    assert!(max_edges > 0, "max_edges must be positive");
+    let n = graph.vertex_count();
+    let mut ranges = Vec::new();
+    let mut start = 0usize;
+    let mut acc = 0usize;
+    for v in 0..n {
+        let d = graph.out_degree(v as VertexId);
+        if acc + d > max_edges && v > start {
+            ranges.push(VertexRange {
+                start: start as VertexId,
+                end: v as VertexId,
+                edges: acc,
+            });
+            start = v;
+            acc = 0;
+        }
+        acc += d;
+    }
+    if start < n {
+        ranges.push(VertexRange {
+            start: start as VertexId,
+            end: n as VertexId,
+            edges: acc,
+        });
+    }
+    ranges
+}
+
+/// Splits `graph` into exactly `count` near-equal vertex ranges (the last may
+/// be smaller). Useful for fixed-chunk-count experiments.
+///
+/// # Panics
+///
+/// Panics if `count == 0`.
+pub fn partition_into(graph: &CsrGraph, count: usize) -> Vec<VertexRange> {
+    assert!(count > 0, "count must be positive");
+    let n = graph.vertex_count();
+    let step = n.div_ceil(count).max(1);
+    let mut ranges = Vec::new();
+    let mut start = 0usize;
+    while start < n {
+        let end = (start + step).min(n);
+        let edges = (start..end)
+            .map(|v| graph.out_degree(v as VertexId))
+            .sum();
+        ranges.push(VertexRange {
+            start: start as VertexId,
+            end: end as VertexId,
+            edges,
+        });
+        start = end;
+    }
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{GraphGenerator, UniformRandom};
+
+    #[test]
+    fn ranges_cover_all_vertices_exactly_once() {
+        let g = UniformRandom::new(100, 600).generate(1);
+        let ranges = partition_by_edges(&g, 50);
+        let mut next = 0;
+        for r in &ranges {
+            assert_eq!(r.start, next);
+            assert!(r.end > r.start);
+            next = r.end;
+        }
+        assert_eq!(next as usize, g.vertex_count());
+    }
+
+    #[test]
+    fn edge_budget_is_respected_except_single_heavy_vertex() {
+        let g = UniformRandom::new(100, 600).generate(2);
+        let budget = 40;
+        for r in partition_by_edges(&g, budget) {
+            assert!(r.edges <= budget || r.len() == 1);
+        }
+    }
+
+    #[test]
+    fn edge_counts_sum_to_total() {
+        let g = UniformRandom::new(80, 500).generate(3);
+        let total: usize = partition_by_edges(&g, 64).iter().map(|r| r.edges).sum();
+        assert_eq!(total, g.edge_count());
+    }
+
+    #[test]
+    fn partition_into_produces_requested_count() {
+        let g = UniformRandom::new(97, 300).generate(4);
+        let ranges = partition_into(&g, 10);
+        assert!(ranges.len() <= 10);
+        let covered: usize = ranges.iter().map(|r| r.len()).sum();
+        assert_eq!(covered, 97);
+    }
+
+    #[test]
+    fn single_partition_covers_everything() {
+        let g = UniformRandom::new(50, 200).generate(5);
+        let ranges = partition_into(&g, 1);
+        assert_eq!(ranges.len(), 1);
+        assert_eq!(ranges[0].edges, g.edge_count());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_edge_budget_panics() {
+        let g = UniformRandom::new(10, 20).generate(0);
+        let _ = partition_by_edges(&g, 0);
+    }
+}

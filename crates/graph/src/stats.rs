@@ -1,0 +1,213 @@
+//! Structural graph statistics feeding the paper's `I` input variables.
+
+use crate::csr::CsrGraph;
+use crate::VertexId;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Structural statistics of a graph.
+///
+/// The four paper-relevant quantities map to the `I` variables of Section
+/// III-B: `vertices` → I1, density (`edges`/`vertices`) → I2, `max_degree` →
+/// I3, `diameter` → I4. For the Table I datasets these are taken verbatim
+/// from the paper; for generated graphs they are measured with
+/// [`GraphStats::measure`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GraphStats {
+    /// Number of vertices (paper variable behind `I1`).
+    pub vertices: u64,
+    /// Number of directed edges (behind `I2` via density).
+    pub edges: u64,
+    /// Maximum out-degree (behind `I3`).
+    pub max_degree: u64,
+    /// Graph diameter — exact on small graphs, double-sweep approximation on
+    /// large ones (behind `I4`). The paper obtains it "alongside input graphs
+    /// or using runtime approximations".
+    pub diameter: u64,
+}
+
+impl GraphStats {
+    /// Builds stats from already-known quantities (e.g. Table I rows).
+    pub fn from_known(vertices: u64, edges: u64, max_degree: u64, diameter: u64) -> Self {
+        GraphStats {
+            vertices,
+            edges,
+            max_degree,
+            diameter,
+        }
+    }
+
+    /// Measures statistics of `graph`.
+    ///
+    /// The diameter is approximated with the classic *double-sweep* heuristic
+    /// (BFS from an arbitrary vertex, then BFS from the farthest vertex
+    /// found), repeated from a few seeds; this lower-bounds the true diameter
+    /// and is exact on trees and most meshes. Unreachable pairs are ignored —
+    /// the eccentricity within the largest reachable region is reported, as
+    /// the paper's road/social datasets are connected.
+    pub fn measure(graph: &CsrGraph) -> Self {
+        let n = graph.vertex_count();
+        let diameter = if n == 0 { 0 } else { approximate_diameter(graph) };
+        GraphStats {
+            vertices: n as u64,
+            edges: graph.edge_count() as u64,
+            max_degree: graph.max_degree() as u64,
+            diameter,
+        }
+    }
+
+    /// Average degree `E / V` (0.0 when the graph is empty).
+    pub fn average_degree(&self) -> f64 {
+        if self.vertices == 0 {
+            0.0
+        } else {
+            self.edges as f64 / self.vertices as f64
+        }
+    }
+
+    /// Approximate in-memory footprint in bytes of a CSR representation with
+    /// 4-byte ids and 4-byte weights — the quantity compared against an
+    /// accelerator's DRAM capacity by the memory model.
+    pub fn footprint_bytes(&self) -> u64 {
+        self.vertices * 8 + self.edges * 8
+    }
+}
+
+/// BFS from `src` returning `(distances, farthest_vertex, eccentricity)`.
+/// Distance `u32::MAX` marks unreachable vertices.
+fn bfs_eccentricity(graph: &CsrGraph, src: VertexId) -> (VertexId, u32) {
+    let n = graph.vertex_count();
+    let mut dist = vec![u32::MAX; n];
+    let mut queue = VecDeque::new();
+    dist[src as usize] = 0;
+    queue.push_back(src);
+    let mut farthest = src;
+    let mut ecc = 0;
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v as usize];
+        if d > ecc {
+            ecc = d;
+            farthest = v;
+        }
+        for &t in graph.neighbors(v) {
+            if dist[t as usize] == u32::MAX {
+                dist[t as usize] = d + 1;
+                queue.push_back(t);
+            }
+        }
+    }
+    (farthest, ecc)
+}
+
+/// Double-sweep diameter approximation with a handful of restarts.
+fn approximate_diameter(graph: &CsrGraph) -> u64 {
+    let n = graph.vertex_count();
+    let seeds: [usize; 4] = [0, n / 3, n / 2, (2 * n) / 3];
+    let mut best = 0u32;
+    for &s in &seeds {
+        if s >= n {
+            continue;
+        }
+        let (far, _) = bfs_eccentricity(graph, s as VertexId);
+        let (_, ecc) = bfs_eccentricity(graph, far);
+        best = best.max(ecc);
+    }
+    best as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edgelist::EdgeList;
+
+    fn path(n: usize) -> CsrGraph {
+        let mut el = EdgeList::new(n);
+        for i in 0..n - 1 {
+            el.push_undirected(i as VertexId, (i + 1) as VertexId, 1.0);
+        }
+        el.into_csr().unwrap()
+    }
+
+    fn cycle(n: usize) -> CsrGraph {
+        let mut el = EdgeList::new(n);
+        for i in 0..n {
+            el.push_undirected(i as VertexId, ((i + 1) % n) as VertexId, 1.0);
+        }
+        el.into_csr().unwrap()
+    }
+
+    #[test]
+    fn path_diameter_is_exact() {
+        let g = path(10);
+        let s = GraphStats::measure(&g);
+        assert_eq!(s.diameter, 9);
+        assert_eq!(s.vertices, 10);
+        assert_eq!(s.edges, 18);
+        assert_eq!(s.max_degree, 2);
+    }
+
+    #[test]
+    fn cycle_diameter_is_half() {
+        let g = cycle(12);
+        let s = GraphStats::measure(&g);
+        assert_eq!(s.diameter, 6);
+    }
+
+    #[test]
+    fn star_diameter_is_two() {
+        let mut el = EdgeList::new(6);
+        for i in 1..6 {
+            el.push_undirected(0, i, 1.0);
+        }
+        let s = el.into_csr().unwrap().stats();
+        assert_eq!(s.diameter, 2);
+        assert_eq!(s.max_degree, 5);
+    }
+
+    #[test]
+    fn empty_graph_stats_are_zero() {
+        let g = EdgeList::new(0).into_csr().unwrap();
+        let s = GraphStats::measure(&g);
+        assert_eq!(s.vertices, 0);
+        assert_eq!(s.diameter, 0);
+        assert_eq!(s.average_degree(), 0.0);
+    }
+
+    #[test]
+    fn from_known_round_trips() {
+        let s = GraphStats::from_known(10, 20, 5, 3);
+        assert_eq!(s.average_degree(), 2.0);
+        assert_eq!(s.footprint_bytes(), 10 * 8 + 20 * 8);
+    }
+
+    #[test]
+    fn diameter_handles_disconnected_graphs() {
+        // Two disjoint edges: eccentricity within a component is 1.
+        let mut el = EdgeList::new(4);
+        el.push_undirected(0, 1, 1.0);
+        el.push_undirected(2, 3, 1.0);
+        let s = el.into_csr().unwrap().stats();
+        assert_eq!(s.diameter, 1);
+    }
+
+    #[test]
+    fn double_sweep_is_lower_bound_on_grid() {
+        // 4x4 grid: true diameter 6; double-sweep must find at least a long
+        // shortest path and never exceed it.
+        let side = 4u32;
+        let mut el = EdgeList::new((side * side) as usize);
+        for r in 0..side {
+            for c in 0..side {
+                let v = r * side + c;
+                if c + 1 < side {
+                    el.push_undirected(v, v + 1, 1.0);
+                }
+                if r + 1 < side {
+                    el.push_undirected(v, v + side, 1.0);
+                }
+            }
+        }
+        let s = el.into_csr().unwrap().stats();
+        assert!(s.diameter >= 4 && s.diameter <= 6, "got {}", s.diameter);
+    }
+}

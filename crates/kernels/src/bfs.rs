@@ -1,0 +1,131 @@
+//! Level-synchronous parallel breadth-first search.
+//!
+//! BFS is the paper's canonical "Pareto-Division" (B3) workload: each level's
+//! frontier is divided among threads, with a global barrier between levels.
+
+use crate::par::Scheduler;
+use crate::UNREACHED;
+use heteromap_graph::{CsrGraph, VertexId};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Runs parallel BFS from `source`, returning the level of every vertex
+/// (`UNREACHED` for unreachable vertices).
+///
+/// # Panics
+///
+/// Panics if `source` is out of bounds.
+///
+/// # Example
+///
+/// ```
+/// use heteromap_graph::EdgeList;
+/// use heteromap_kernels::bfs::bfs;
+///
+/// let mut el = EdgeList::new(3);
+/// el.push(0, 1, 1.0);
+/// el.push(1, 2, 1.0);
+/// let g = el.into_csr().unwrap();
+/// assert_eq!(bfs(&g, 0, 2), vec![0, 1, 2]);
+/// ```
+pub fn bfs(graph: &CsrGraph, source: VertexId, threads: usize) -> Vec<u32> {
+    bfs_with(graph, source, threads, Scheduler::Static)
+}
+
+/// [`bfs`] with an explicit work-distribution policy for the frontier loop.
+pub fn bfs_with(
+    graph: &CsrGraph,
+    source: VertexId,
+    threads: usize,
+    scheduler: Scheduler,
+) -> Vec<u32> {
+    let n = graph.vertex_count();
+    assert!((source as usize) < n, "source out of bounds");
+    let levels: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNREACHED)).collect();
+    levels[source as usize].store(0, Ordering::Relaxed);
+    let mut frontier = vec![source];
+    let mut level = 0u32;
+    while !frontier.is_empty() {
+        let next = Mutex::new(Vec::with_capacity(frontier.len()));
+        scheduler.for_each(frontier.len(), threads, |range| {
+            let mut local = Vec::new();
+            for &v in &frontier[range] {
+                for &t in graph.neighbors(v) {
+                    if levels[t as usize]
+                        .compare_exchange(
+                            UNREACHED,
+                            level + 1,
+                            Ordering::Relaxed,
+                            Ordering::Relaxed,
+                        )
+                        .is_ok()
+                    {
+                        local.push(t);
+                    }
+                }
+            }
+            if !local.is_empty() {
+                next.lock().extend_from_slice(&local);
+            }
+        });
+        frontier = next.into_inner();
+        level += 1;
+    }
+    levels.into_iter().map(AtomicU32::into_inner).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::bfs_seq;
+    use heteromap_graph::gen::{Grid, GraphGenerator, PowerLaw, UniformRandom};
+    use heteromap_graph::EdgeList;
+
+    #[test]
+    fn matches_sequential_on_random_graphs() {
+        for seed in 0..4 {
+            let g = UniformRandom::new(300, 1_800).generate(seed);
+            assert_eq!(bfs(&g, 0, 4), bfs_seq(&g, 0), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn matches_sequential_on_grid() {
+        let g = Grid::new(12, 17).generate(0);
+        assert_eq!(bfs(&g, 5, 3), bfs_seq(&g, 5));
+    }
+
+    #[test]
+    fn matches_sequential_on_power_law() {
+        let g = PowerLaw::new(800, 4).generate(2);
+        assert_eq!(bfs(&g, 10, 8), bfs_seq(&g, 10));
+    }
+
+    #[test]
+    fn unreachable_vertices_are_marked() {
+        let mut el = EdgeList::new(4);
+        el.push(0, 1, 1.0);
+        let g = el.into_csr().unwrap();
+        let l = bfs(&g, 0, 2);
+        assert_eq!(l[0], 0);
+        assert_eq!(l[1], 1);
+        assert_eq!(l[2], UNREACHED);
+        assert_eq!(l[3], UNREACHED);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_result() {
+        let g = UniformRandom::new(500, 3_000).generate(7);
+        let reference = bfs(&g, 0, 1);
+        for threads in [2, 4, 16] {
+            assert_eq!(bfs(&g, 0, threads), reference);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "source out of bounds")]
+    fn bad_source_panics() {
+        let g = EdgeList::new(2).into_csr().unwrap();
+        let _ = bfs(&g, 9, 1);
+    }
+}

@@ -1,0 +1,43 @@
+//! Real multithreaded graph-analytics kernels.
+//!
+//! The paper's benchmarks come from CRONO, GAP, MiBench, Rodinia and
+//! Pannotia; this crate reimplements the nine evaluated kernels in safe Rust
+//! with `crossbeam` scoped threads, so the reproduction can execute the
+//! actual algorithms on host hardware (the accelerator *performance* numbers
+//! come from `heteromap-accel`'s simulator — see DESIGN.md §2 — but
+//! correctness, thread-count scaling and the algorithms themselves are real):
+//!
+//! * [`bfs`] — level-synchronous breadth-first search,
+//! * [`sssp_bf`] — Bellman-Ford shortest paths (data-parallel relaxation),
+//! * [`sssp_delta`] — Δ-stepping shortest paths (buckets + reductions),
+//! * [`dfs`] — work-list depth-first reachability,
+//! * [`pagerank`] / [`pagerank_dp`] — pull- and push-based PageRank,
+//! * [`triangle`] — triangle counting by sorted intersection,
+//! * [`conncomp`] — connected components by label propagation,
+//! * [`community`] — community detection by label propagation,
+//! * [`verify`] — sequential reference implementations used in tests,
+//! * [`runner`] — uniform dispatch used by examples and benches.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bfs;
+pub mod community;
+pub mod conncomp;
+pub mod dfs;
+pub mod pagerank;
+pub mod pagerank_dp;
+pub mod par;
+pub mod runner;
+pub mod sssp_bf;
+pub mod sssp_delta;
+pub mod triangle;
+pub mod verify;
+
+pub use runner::{KernelOutput, KernelRunner};
+
+/// Distance value used by the shortest-path kernels.
+pub type Distance = f32;
+
+/// Sentinel for "unreached" in level/distance arrays.
+pub const UNREACHED: u32 = u32::MAX;

@@ -1,0 +1,135 @@
+//! Pull-based PageRank — FP-heavy vertex division with a convergence
+//! reduction (B1 + B5 + B6 in Fig. 5).
+
+use crate::par::par_ranges;
+use heteromap_graph::{CsrGraph, VertexId};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Damping factor used by all PageRank kernels (the standard 0.85).
+pub const DAMPING: f64 = 0.85;
+
+/// Runs parallel pull PageRank for `iterations` rounds, returning the rank
+/// vector (which sums to ≈ 1).
+///
+/// Pull formulation: each vertex gathers `rank[u] / out_deg(u)` over its
+/// in-neighbours — read-only sharing (B9), no atomics in the inner loop.
+/// Dangling-vertex mass is redistributed uniformly via a parallel reduction.
+pub fn pagerank(graph: &CsrGraph, iterations: u32, threads: usize) -> Vec<f64> {
+    let n = graph.vertex_count();
+    if n == 0 {
+        return Vec::new();
+    }
+    let transpose = graph.transpose();
+    let out_deg: Vec<usize> = (0..n).map(|v| graph.out_degree(v as VertexId)).collect();
+    let mut rank = vec![1.0 / n as f64; n];
+    let mut next = vec![0.0f64; n];
+    for _ in 0..iterations {
+        // Reduction: dangling mass (B5 phase).
+        let dangling_bits = AtomicU64::new(0.0f64.to_bits());
+        par_ranges(n, threads, |range| {
+            let local: f64 = range
+                .clone()
+                .filter(|&v| out_deg[v] == 0)
+                .map(|v| rank[v])
+                .sum();
+            // f64 atomic add via CAS.
+            let mut cur = dangling_bits.load(Ordering::Relaxed);
+            loop {
+                let new = (f64::from_bits(cur) + local).to_bits();
+                match dangling_bits.compare_exchange_weak(
+                    cur,
+                    new,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(actual) => cur = actual,
+                }
+            }
+        });
+        let dangling = f64::from_bits(dangling_bits.into_inner()) / n as f64;
+        // Vertex-division gather phase (B1): each thread owns a disjoint
+        // slice of `next`, so no synchronization is needed.
+        let chunk = n.div_ceil(threads.max(1));
+        crossbeam::thread::scope(|s| {
+            for (t, next_chunk) in next.chunks_mut(chunk).enumerate() {
+                let rank = &rank;
+                let out_deg = &out_deg;
+                let transpose = &transpose;
+                s.spawn(move |_| {
+                    for (off, nx) in next_chunk.iter_mut().enumerate() {
+                        let v = t * chunk + off;
+                        let mut sum = 0.0;
+                        for &u in transpose.neighbors(v as VertexId) {
+                            sum += rank[u as usize] / out_deg[u as usize] as f64;
+                        }
+                        *nx = (1.0 - DAMPING) / n as f64 + DAMPING * (sum + dangling);
+                    }
+                });
+            }
+        })
+        .expect("pagerank worker panicked");
+        std::mem::swap(&mut rank, &mut next);
+    }
+    rank
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::pagerank_seq;
+    use heteromap_graph::gen::{GraphGenerator, PowerLaw, UniformRandom};
+    use heteromap_graph::EdgeList;
+
+    fn assert_close(a: &[f64], b: &[f64]) {
+        for (i, (&x, &y)) in a.iter().zip(b.iter()).enumerate() {
+            assert!((x - y).abs() < 1e-9, "vertex {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matches_sequential_reference() {
+        let g = UniformRandom::new(150, 900).generate(1);
+        assert_close(&pagerank(&g, 15, 4), &pagerank_seq(&g, 15));
+    }
+
+    #[test]
+    fn matches_sequential_on_power_law() {
+        let g = PowerLaw::new(400, 3).generate(2);
+        assert_close(&pagerank(&g, 10, 8), &pagerank_seq(&g, 10));
+    }
+
+    #[test]
+    fn ranks_sum_to_one() {
+        let g = UniformRandom::new(200, 1_000).generate(3);
+        let r = pagerank(&g, 20, 4);
+        assert!((r.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn hub_outranks_leaf() {
+        // Star pointing at the hub: hub collects rank.
+        let mut el = EdgeList::new(5);
+        for i in 1..5 {
+            el.push(i, 0, 1.0);
+        }
+        let g = el.into_csr().unwrap();
+        let r = pagerank(&g, 30, 2);
+        assert!(r[0] > r[1] * 2.0, "hub {} leaf {}", r[0], r[1]);
+    }
+
+    #[test]
+    fn empty_graph_returns_empty() {
+        let g = EdgeList::new(0).into_csr().unwrap();
+        assert!(pagerank(&g, 5, 2).is_empty());
+    }
+
+    #[test]
+    fn thread_count_invariant() {
+        let g = UniformRandom::new(100, 700).generate(4);
+        let base = pagerank(&g, 10, 1);
+        for t in [2, 6] {
+            assert_close(&pagerank(&g, 10, t), &base);
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Minimal data-parallel helpers built on `crossbeam` scoped threads.
+
+use crossbeam::thread;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Work-distribution policy for a parallel loop — the host realization of
+/// the paper's `OMP for schedule` machine choice (`M11`) and chunk size
+/// (`M12`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheduler {
+    /// Contiguous static ranges, one per thread (`schedule(static)`).
+    Static,
+    /// Threads grab `grain`-sized chunks from a shared cursor
+    /// (`schedule(dynamic, grain)`).
+    Dynamic {
+        /// Chunk size each thread claims at a time.
+        grain: usize,
+    },
+}
+
+impl Scheduler {
+    /// Runs `work` over `0..n` on `threads` threads under this policy.
+    pub fn for_each<F>(&self, n: usize, threads: usize, work: F)
+    where
+        F: Fn(std::ops::Range<usize>) + Sync,
+    {
+        match *self {
+            Scheduler::Static => par_ranges(n, threads, work),
+            Scheduler::Dynamic { grain } => par_dynamic(n, threads, grain, work),
+        }
+    }
+}
+
+impl Default for Scheduler {
+    fn default() -> Self {
+        Scheduler::Static
+    }
+}
+
+/// Runs `work` on `threads` scoped threads, each receiving its thread index.
+///
+/// # Panics
+///
+/// Propagates panics from worker threads.
+pub fn run_threads<F>(threads: usize, work: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let threads = threads.max(1);
+    if threads == 1 {
+        work(0);
+        return;
+    }
+    thread::scope(|s| {
+        for t in 0..threads {
+            let work = &work;
+            s.spawn(move |_| work(t));
+        }
+    })
+    .expect("kernel worker thread panicked");
+}
+
+/// Splits `0..n` into `threads` contiguous ranges and runs `work(range)` in
+/// parallel. Ranges are balanced to within one element.
+pub fn par_ranges<F>(n: usize, threads: usize, work: F)
+where
+    F: Fn(std::ops::Range<usize>) + Sync,
+{
+    let threads = threads.max(1).min(n.max(1));
+    let chunk = n.div_ceil(threads);
+    run_threads(threads, |t| {
+        let lo = t * chunk;
+        let hi = ((t + 1) * chunk).min(n);
+        if lo < hi {
+            work(lo..hi);
+        }
+    });
+}
+
+/// Dynamic work distribution: threads grab `grain`-sized chunks of `0..n`
+/// from a shared cursor (the "OMP dynamic schedule" of the paper's M11).
+pub fn par_dynamic<F>(n: usize, threads: usize, grain: usize, work: F)
+where
+    F: Fn(std::ops::Range<usize>) + Sync,
+{
+    let cursor = AtomicU32::new(0);
+    let grain = grain.max(1);
+    run_threads(threads, |_| loop {
+        let start = cursor.fetch_add(grain as u32, Ordering::Relaxed) as usize;
+        if start >= n {
+            break;
+        }
+        let end = (start + grain).min(n);
+        work(start..end);
+    });
+}
+
+/// Atomically lowers `slot` to `min(slot, value)` for f32 bit-packed in
+/// `AtomicU32`. Returns `true` if the value was lowered.
+///
+/// Relies on the fact that for non-negative finite f32 values the bit pattern
+/// ordering matches numeric ordering.
+pub fn atomic_min_f32(slot: &AtomicU32, value: f32) -> bool {
+    debug_assert!(value >= 0.0, "atomic_min_f32 requires non-negative values");
+    let new_bits = value.to_bits();
+    let mut cur = slot.load(Ordering::Relaxed);
+    loop {
+        if f32::from_bits(cur) <= value {
+            return false;
+        }
+        match slot.compare_exchange_weak(cur, new_bits, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return true,
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
+/// Atomically adds `value` to an f32 bit-packed in `AtomicU32`.
+pub fn atomic_add_f32(slot: &AtomicU32, value: f32) {
+    let mut cur = slot.load(Ordering::Relaxed);
+    loop {
+        let next = (f32::from_bits(cur) + value).to_bits();
+        match slot.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn par_ranges_covers_everything_once() {
+        let n = 1003;
+        let hits: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+        par_ranges(n, 7, |r| {
+            for i in r {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn par_dynamic_covers_everything_once() {
+        let n = 501;
+        let hits: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+        par_dynamic(n, 5, 16, |r| {
+            for i in r {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        let count = AtomicUsize::new(0);
+        run_threads(1, |t| {
+            assert_eq!(t, 0);
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn atomic_min_lowers_concurrently() {
+        let slot = AtomicU32::new(f32::INFINITY.to_bits());
+        run_threads(8, |t| {
+            atomic_min_f32(&slot, 100.0 - t as f32);
+        });
+        assert_eq!(f32::from_bits(slot.load(Ordering::Relaxed)), 93.0);
+    }
+
+    #[test]
+    fn atomic_min_refuses_higher_values() {
+        let slot = AtomicU32::new(1.0f32.to_bits());
+        assert!(!atomic_min_f32(&slot, 2.0));
+        assert_eq!(f32::from_bits(slot.load(Ordering::Relaxed)), 1.0);
+    }
+
+    #[test]
+    fn atomic_add_sums_concurrently() {
+        let slot = AtomicU32::new(0.0f32.to_bits());
+        run_threads(4, |_| {
+            for _ in 0..100 {
+                atomic_add_f32(&slot, 1.0);
+            }
+        });
+        assert_eq!(f32::from_bits(slot.load(Ordering::Relaxed)), 400.0);
+    }
+
+    #[test]
+    fn par_ranges_with_zero_items_is_noop() {
+        par_ranges(0, 4, |_| panic!("no work expected"));
+    }
+
+    #[test]
+    fn schedulers_cover_everything_once() {
+        for sched in [Scheduler::Static, Scheduler::Dynamic { grain: 7 }] {
+            let n = 333;
+            let hits: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+            sched.for_each(n, 5, |r| {
+                for i in r {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "{sched:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn default_scheduler_is_static() {
+        assert_eq!(Scheduler::default(), Scheduler::Static);
+    }
+}

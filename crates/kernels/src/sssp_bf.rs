@@ -1,0 +1,129 @@
+//! Data-parallel Bellman-Ford SSSP — the paper's worked example (Fig. 6):
+//! pure vertex division (B1 = 1) with atomic relaxations on the shared
+//! distance array (B12) and a barrier per round (B13).
+
+use crate::par::{atomic_min_f32, Scheduler};
+use crate::Distance;
+use heteromap_graph::{CsrGraph, VertexId};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+
+/// Runs parallel Bellman-Ford from `source`, returning the shortest
+/// distances (`f32::INFINITY` for unreachable vertices).
+///
+/// Each round relaxes all out-edges of all vertices in parallel (vertex
+/// division); the algorithm converges in at most `diameter` rounds and stops
+/// as soon as a round makes no improvement.
+///
+/// # Panics
+///
+/// Panics if `source` is out of bounds or any edge weight is negative.
+pub fn sssp_bf(graph: &CsrGraph, source: VertexId, threads: usize) -> Vec<Distance> {
+    sssp_bf_with(graph, source, threads, Scheduler::Static)
+}
+
+/// [`sssp_bf`] with an explicit work-distribution policy (the deployed
+/// `M11`/`M12` choices).
+pub fn sssp_bf_with(
+    graph: &CsrGraph,
+    source: VertexId,
+    threads: usize,
+    scheduler: Scheduler,
+) -> Vec<Distance> {
+    let n = graph.vertex_count();
+    assert!((source as usize) < n, "source out of bounds");
+    let dist: Vec<AtomicU32> = (0..n)
+        .map(|_| AtomicU32::new(f32::INFINITY.to_bits()))
+        .collect();
+    dist[source as usize].store(0.0f32.to_bits(), Ordering::Relaxed);
+    // n rounds upper-bounds convergence for non-negative weights.
+    for _ in 0..n {
+        let changed = AtomicBool::new(false);
+        scheduler.for_each(n, threads, |range| {
+            let mut local_changed = false;
+            for v in range {
+                let dv = f32::from_bits(dist[v].load(Ordering::Relaxed));
+                if dv.is_infinite() {
+                    continue;
+                }
+                for (t, w) in graph.edges(v as VertexId) {
+                    assert!(w >= 0.0, "negative edge weight");
+                    if atomic_min_f32(&dist[t as usize], dv + w) {
+                        local_changed = true;
+                    }
+                }
+            }
+            if local_changed {
+                changed.store(true, Ordering::Relaxed);
+            }
+        });
+        if !changed.load(Ordering::Relaxed) {
+            break;
+        }
+    }
+    dist.into_iter()
+        .map(|d| f32::from_bits(d.into_inner()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::dijkstra;
+    use heteromap_graph::gen::{Grid, GraphGenerator, PowerLaw, UniformRandom};
+    use heteromap_graph::EdgeList;
+
+    fn assert_close(a: &[f32], b: &[f32]) {
+        assert_eq!(a.len(), b.len());
+        for (i, (&x, &y)) in a.iter().zip(b.iter()).enumerate() {
+            if x.is_infinite() || y.is_infinite() {
+                assert_eq!(x.is_infinite(), y.is_infinite(), "vertex {i}: {x} vs {y}");
+            } else {
+                assert!((x - y).abs() < 1e-3, "vertex {i}: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_dijkstra_on_random_graphs() {
+        for seed in 0..4 {
+            let g = UniformRandom::new(200, 1_200).generate(seed);
+            assert_close(&sssp_bf(&g, 0, 4), &dijkstra(&g, 0));
+        }
+    }
+
+    #[test]
+    fn matches_dijkstra_on_weighted_grid() {
+        let g = Grid::new(15, 15).generate(3);
+        assert_close(&sssp_bf(&g, 7, 8), &dijkstra(&g, 7));
+    }
+
+    #[test]
+    fn matches_dijkstra_on_power_law() {
+        let g = PowerLaw::new(600, 3).generate(5);
+        assert_close(&sssp_bf(&g, 0, 6), &dijkstra(&g, 0));
+    }
+
+    #[test]
+    fn source_distance_is_zero() {
+        let g = UniformRandom::new(50, 200).generate(0);
+        assert_eq!(sssp_bf(&g, 17, 2)[17], 0.0);
+    }
+
+    #[test]
+    fn unreachable_is_infinite() {
+        let mut el = EdgeList::new(3);
+        el.push(0, 1, 2.0);
+        let g = el.into_csr().unwrap();
+        let d = sssp_bf(&g, 0, 2);
+        assert!(d[2].is_infinite());
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let g = UniformRandom::new(300, 2_000).generate(9);
+        let one = sssp_bf(&g, 0, 1);
+        for t in [2, 8] {
+            assert_close(&sssp_bf(&g, 0, t), &one);
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! Sequential reference implementations used to validate the parallel
+//! kernels (and as the single-thread baselines in the examples).
+
+use crate::{Distance, UNREACHED};
+use heteromap_graph::{CsrGraph, VertexId};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Sequential BFS levels from `source` (`UNREACHED` if unreachable).
+pub fn bfs_seq(graph: &CsrGraph, source: VertexId) -> Vec<u32> {
+    let n = graph.vertex_count();
+    let mut levels = vec![UNREACHED; n];
+    let mut q = VecDeque::new();
+    levels[source as usize] = 0;
+    q.push_back(source);
+    while let Some(v) = q.pop_front() {
+        let l = levels[v as usize];
+        for &t in graph.neighbors(v) {
+            if levels[t as usize] == UNREACHED {
+                levels[t as usize] = l + 1;
+                q.push_back(t);
+            }
+        }
+    }
+    levels
+}
+
+/// Dijkstra shortest-path distances from `source` — the ground truth for
+/// both SSSP kernels. Unreachable vertices get `f32::INFINITY`.
+pub fn dijkstra(graph: &CsrGraph, source: VertexId) -> Vec<Distance> {
+    let n = graph.vertex_count();
+    let mut dist = vec![f32::INFINITY; n];
+    let mut heap: BinaryHeap<Reverse<(u64, VertexId)>> = BinaryHeap::new();
+    dist[source as usize] = 0.0;
+    heap.push(Reverse((0, source)));
+    while let Some(Reverse((dbits, v))) = heap.pop() {
+        let d = f64::from_bits(dbits) as f32;
+        if d > dist[v as usize] {
+            continue;
+        }
+        for (t, w) in graph.edges(v) {
+            let nd = d + w;
+            if nd < dist[t as usize] {
+                dist[t as usize] = nd;
+                heap.push(Reverse(((nd as f64).to_bits(), t)));
+            }
+        }
+    }
+    dist
+}
+
+/// Sequential recursive-order DFS preorder from `source`; returns the visit
+/// order index per vertex (`UNREACHED` if unreachable).
+pub fn dfs_seq(graph: &CsrGraph, source: VertexId) -> Vec<u32> {
+    let n = graph.vertex_count();
+    let mut order = vec![UNREACHED; n];
+    let mut stack = vec![source];
+    let mut counter = 0;
+    while let Some(v) = stack.pop() {
+        if order[v as usize] != UNREACHED {
+            continue;
+        }
+        order[v as usize] = counter;
+        counter += 1;
+        // Push in reverse so the smallest neighbour is visited first.
+        for &t in graph.neighbors(v).iter().rev() {
+            if order[t as usize] == UNREACHED {
+                stack.push(t);
+            }
+        }
+    }
+    order
+}
+
+/// Sequential pull PageRank with damping 0.85 over `iterations` rounds.
+pub fn pagerank_seq(graph: &CsrGraph, iterations: u32) -> Vec<f64> {
+    let n = graph.vertex_count();
+    if n == 0 {
+        return Vec::new();
+    }
+    let transpose = graph.transpose();
+    let damping = 0.85;
+    let mut rank = vec![1.0 / n as f64; n];
+    let out_deg: Vec<usize> = (0..n).map(|v| graph.out_degree(v as VertexId)).collect();
+    for _ in 0..iterations {
+        let mut next = vec![(1.0 - damping) / n as f64; n];
+        // Dangling mass is redistributed uniformly.
+        let dangling: f64 = (0..n)
+            .filter(|&v| out_deg[v] == 0)
+            .map(|v| rank[v])
+            .sum::<f64>()
+            / n as f64;
+        for (v, nx) in next.iter_mut().enumerate() {
+            let mut sum = 0.0;
+            for &u in transpose.neighbors(v as VertexId) {
+                sum += rank[u as usize] / out_deg[u as usize] as f64;
+            }
+            *nx += damping * (sum + dangling);
+        }
+        rank = next;
+    }
+    rank
+}
+
+/// Sequential triangle count (each triangle counted once).
+pub fn triangle_seq(graph: &CsrGraph) -> u64 {
+    let n = graph.vertex_count();
+    let mut count = 0u64;
+    for v in 0..n as VertexId {
+        let nv = graph.neighbors(v);
+        for &u in nv {
+            if u <= v {
+                continue;
+            }
+            // Count w > u adjacent to both v and u.
+            let nu = graph.neighbors(u);
+            let (mut i, mut j) = (0, 0);
+            while i < nv.len() && j < nu.len() {
+                match nv[i].cmp(&nu[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        if nv[i] > u {
+                            count += 1;
+                        }
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+        }
+    }
+    count
+}
+
+/// Sequential connected components over the *undirected closure* of the
+/// graph (union-find); returns the minimum vertex id of each component.
+pub fn conncomp_seq(graph: &CsrGraph) -> Vec<u32> {
+    let n = graph.vertex_count();
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    fn find(parent: &mut [u32], v: u32) -> u32 {
+        let mut root = v;
+        while parent[root as usize] != root {
+            root = parent[root as usize];
+        }
+        let mut cur = v;
+        while parent[cur as usize] != root {
+            let next = parent[cur as usize];
+            parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+    for v in 0..n as u32 {
+        for &t in graph.neighbors(v) {
+            let (a, b) = (find(&mut parent, v), find(&mut parent, t));
+            if a != b {
+                let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+                parent[hi as usize] = lo;
+            }
+        }
+    }
+    (0..n as u32).map(|v| find(&mut parent, v)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heteromap_graph::gen::{GraphGenerator, UniformRandom};
+    use heteromap_graph::EdgeList;
+
+    fn diamond() -> CsrGraph {
+        let mut el = EdgeList::new(4);
+        el.push(0, 1, 1.0);
+        el.push(0, 2, 4.0);
+        el.push(1, 3, 1.0);
+        el.push(2, 3, 1.0);
+        el.into_csr().unwrap()
+    }
+
+    #[test]
+    fn dijkstra_picks_shorter_path() {
+        let d = dijkstra(&diamond(), 0);
+        assert_eq!(d, vec![0.0, 1.0, 4.0, 2.0]);
+    }
+
+    #[test]
+    fn bfs_seq_levels() {
+        assert_eq!(bfs_seq(&diamond(), 0), vec![0, 1, 1, 2]);
+    }
+
+    #[test]
+    fn dfs_seq_visits_smallest_first() {
+        let order = dfs_seq(&diamond(), 0);
+        // 0 -> 1 -> 3 -> backtrack -> 2
+        assert_eq!(order, vec![0, 1, 3, 2]);
+    }
+
+    #[test]
+    fn pagerank_sums_to_one() {
+        let g = UniformRandom::new(100, 600).generate(1);
+        let r = pagerank_seq(&g, 20);
+        let total: f64 = r.iter().sum();
+        assert!((total - 1.0).abs() < 1e-6, "sum {total}");
+    }
+
+    #[test]
+    fn triangle_counts_k4() {
+        // Complete graph on 4 vertices has 4 triangles.
+        let mut el = EdgeList::new(4);
+        for a in 0..4u32 {
+            for b in 0..4u32 {
+                if a != b {
+                    el.push(a, b, 1.0);
+                }
+            }
+        }
+        let g = el.into_csr().unwrap();
+        assert_eq!(triangle_seq(&g), 4);
+    }
+
+    #[test]
+    fn triangle_counts_triangle_once() {
+        let mut el = EdgeList::new(3);
+        el.push_undirected(0, 1, 1.0);
+        el.push_undirected(1, 2, 1.0);
+        el.push_undirected(0, 2, 1.0);
+        let g = el.into_csr().unwrap();
+        assert_eq!(triangle_seq(&g), 1);
+    }
+
+    #[test]
+    fn conncomp_two_components() {
+        let mut el = EdgeList::new(5);
+        el.push_undirected(0, 1, 1.0);
+        el.push_undirected(3, 4, 1.0);
+        let g = el.into_csr().unwrap();
+        let c = conncomp_seq(&g);
+        assert_eq!(c, vec![0, 0, 2, 3, 3]);
+    }
+}

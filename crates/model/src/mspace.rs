@@ -1,0 +1,215 @@
+//! The `M` search space: enumeration, sampling and neighbourhood moves used
+//! by the offline autotuner and the "ideal" exhaustive baseline.
+//!
+//! With 20 machine variables the full space has "thousands of combinations"
+//! (Section IV); like the paper we search a discretized subset, sweeping the
+//! first-order variables on a coarse grid while holding second-order OpenMP
+//! variables at sensible defaults (the autotuner then refines all dimensions
+//! with local moves).
+
+use crate::mconfig::{Accelerator, MConfig, OmpSchedule};
+use rand::Rng;
+
+/// Coarse levels used for exhaustive enumeration of continuous dimensions.
+pub const COARSE_LEVELS: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 1.0];
+
+/// The discretized machine-choice search space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MSpace {
+    _priv: (),
+}
+
+impl MSpace {
+    /// The paper's space over both accelerators.
+    pub fn new() -> Self {
+        MSpace { _priv: () }
+    }
+
+    /// Exhaustively enumerates the first-order choices for one accelerator.
+    ///
+    /// * GPU: global threads × local threads × schedule — the two "GPU
+    ///   hardware choices M19-20" plus work scheduling.
+    /// * Multicore: cores × threads/core × SIMD width × schedule × affinity ×
+    ///   placement (M5–M7 moved together) × blocktime.
+    pub fn enumerate_for(&self, accelerator: Accelerator) -> Vec<MConfig> {
+        let mut out = Vec::new();
+        match accelerator {
+            Accelerator::Gpu => {
+                for &g in &COARSE_LEVELS {
+                    for &l in &COARSE_LEVELS {
+                        for sched in [OmpSchedule::Static, OmpSchedule::Dynamic] {
+                            let mut cfg = MConfig::gpu_default();
+                            cfg.global_threads = g;
+                            cfg.local_threads = l;
+                            cfg.schedule = sched;
+                            out.push(cfg);
+                        }
+                    }
+                }
+            }
+            Accelerator::Multicore => {
+                for &c in &COARSE_LEVELS {
+                    for &t in &COARSE_LEVELS {
+                        for &s in &[0.0, 0.5, 1.0] {
+                            for sched in [OmpSchedule::Static, OmpSchedule::Dynamic] {
+                                for &aff in &[0.0, 0.5, 1.0] {
+                                    for &pl in &[0.0, 0.5, 1.0] {
+                                        for nested in [false, true] {
+                                            let mut cfg = MConfig::multicore_default();
+                                            cfg.cores = c;
+                                            cfg.threads_per_core = t;
+                                            cfg.simd_width = s;
+                                            cfg.simd = s;
+                                            cfg.schedule = sched;
+                                            cfg.affinity = aff;
+                                            cfg.place_core_ids = pl;
+                                            cfg.place_thread_ids = pl;
+                                            cfg.place_offsets = pl;
+                                            cfg.nested = nested;
+                                            cfg.max_active_levels =
+                                                if nested { 1.0 } else { 0.0 };
+                                            out.push(cfg);
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Enumerates the whole space (both accelerators).
+    pub fn enumerate(&self) -> Vec<MConfig> {
+        let mut v = self.enumerate_for(Accelerator::Gpu);
+        v.extend(self.enumerate_for(Accelerator::Multicore));
+        v
+    }
+
+    /// Draws one uniformly random configuration (all 20 dimensions).
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> MConfig {
+        let mut a = [0.0f64; crate::M_DIM];
+        for x in a.iter_mut() {
+            *x = rng.gen_range(0..=10) as f64 / 10.0;
+        }
+        MConfig::from_array(a)
+    }
+
+    /// Generates hill-climbing neighbours of `cfg`: each continuous
+    /// first-order dimension moved ±0.1, the schedule toggled, and the
+    /// accelerator flipped.
+    pub fn neighbors(&self, cfg: &MConfig) -> Vec<MConfig> {
+        let mut out = Vec::new();
+        let base = cfg.as_array();
+        // Indices of first-order continuous dims in the M array encoding.
+        let dims: &[usize] = match cfg.accelerator {
+            Accelerator::Gpu => &[18, 19, 11],
+            Accelerator::Multicore => &[1, 2, 3, 4, 5, 6, 7, 8, 9, 11, 14],
+        };
+        for &d in dims {
+            for delta in [-0.1, 0.1] {
+                let next = (base[d] + delta).clamp(0.0, 1.0);
+                if (next - base[d]).abs() > 1e-9 {
+                    let mut a = base;
+                    a[d] = next;
+                    out.push(MConfig::from_array(a));
+                }
+            }
+        }
+        // Schedule moves.
+        for s in OmpSchedule::ALL {
+            if s != cfg.schedule {
+                let mut c = *cfg;
+                c.schedule = s;
+                out.push(c);
+            }
+        }
+        // Accelerator flip.
+        let mut flipped = *cfg;
+        flipped.accelerator = match cfg.accelerator {
+            Accelerator::Gpu => Accelerator::Multicore,
+            Accelerator::Multicore => Accelerator::Gpu,
+        };
+        out.push(flipped);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gpu_enumeration_size() {
+        let space = MSpace::new();
+        assert_eq!(space.enumerate_for(Accelerator::Gpu).len(), 5 * 5 * 2);
+    }
+
+    #[test]
+    fn multicore_enumeration_size() {
+        let space = MSpace::new();
+        assert_eq!(
+            space.enumerate_for(Accelerator::Multicore).len(),
+            5 * 5 * 3 * 2 * 3 * 3 * 2
+        );
+    }
+
+    #[test]
+    fn enumeration_respects_accelerator() {
+        let space = MSpace::new();
+        assert!(space
+            .enumerate_for(Accelerator::Gpu)
+            .iter()
+            .all(|c| c.accelerator == Accelerator::Gpu));
+        assert!(space
+            .enumerate_for(Accelerator::Multicore)
+            .iter()
+            .all(|c| c.accelerator == Accelerator::Multicore));
+    }
+
+    #[test]
+    fn sample_is_on_tenth_grid() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = MSpace::new().sample(&mut rng);
+        for (i, v) in cfg.as_array().iter().enumerate() {
+            if i == 10 {
+                // Schedule re-encodes to quarters (index / 3).
+                continue;
+            }
+            assert!((v * 10.0 - (v * 10.0).round()).abs() < 1e-9, "dim {i}: {v}");
+        }
+    }
+
+    #[test]
+    fn neighbors_include_accelerator_flip() {
+        let cfg = MConfig::gpu_default();
+        let n = MSpace::new().neighbors(&cfg);
+        assert!(n.iter().any(|c| c.accelerator == Accelerator::Multicore));
+    }
+
+    #[test]
+    fn neighbors_stay_in_bounds() {
+        let mut cfg = MConfig::multicore_default();
+        cfg.cores = 1.0;
+        cfg.threads_per_core = 0.0;
+        for n in MSpace::new().neighbors(&cfg) {
+            for v in n.as_array() {
+                assert!((0.0..=1.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn full_enumeration_covers_both_machines() {
+        let all = MSpace::new().enumerate();
+        let gpus = all
+            .iter()
+            .filter(|c| c.accelerator == Accelerator::Gpu)
+            .count();
+        assert!(gpus > 0 && gpus < all.len());
+    }
+}

@@ -1,0 +1,170 @@
+//! OpenTuner-style offline autotuner (DESIGN.md §2 substitution).
+//!
+//! The paper uses OpenTuner to exhaustively optimize each synthetic `(B, I)`
+//! combination offline and to produce the "ideal" manually-tuned baseline.
+//! This autotuner plays both roles against the simulator oracle: coarse
+//! exhaustive enumeration of the first-order machine choices followed by
+//! hill-climbing refinement on the 0.1 grid.
+
+use heteromap_model::mspace::MSpace;
+use heteromap_model::MConfig;
+
+/// Result of a tuning run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TuneResult {
+    /// The best configuration found.
+    pub config: MConfig,
+    /// Objective value at the best configuration.
+    pub cost: f64,
+    /// Number of oracle evaluations spent.
+    pub evaluations: usize,
+}
+
+/// The autotuner. `oracle` maps a configuration to a positive cost (time in
+/// ms or energy in J) — lower is better.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Autotuner {
+    refine_budget: usize,
+    coarse_stride: usize,
+}
+
+impl Autotuner {
+    /// Full-fidelity tuner: complete coarse enumeration + 200 refinement
+    /// evaluations (used for the "ideal" baseline).
+    pub fn exhaustive() -> Self {
+        Autotuner {
+            refine_budget: 200,
+            coarse_stride: 1,
+        }
+    }
+
+    /// Faster tuner for bulk training-database generation: strided coarse
+    /// pass + a short refinement.
+    pub fn fast() -> Self {
+        Autotuner {
+            refine_budget: 40,
+            coarse_stride: 7,
+        }
+    }
+
+    /// Overrides the hill-climbing budget (ablation bench).
+    pub fn with_refine_budget(mut self, budget: usize) -> Self {
+        self.refine_budget = budget;
+        self
+    }
+
+    /// Overrides the coarse-pass stride (1 = full enumeration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride == 0`.
+    pub fn with_coarse_stride(mut self, stride: usize) -> Self {
+        assert!(stride > 0, "stride must be positive");
+        self.coarse_stride = stride;
+        self
+    }
+
+    /// Finds a near-optimal configuration for `oracle`.
+    pub fn tune<F: FnMut(&MConfig) -> f64>(&self, mut oracle: F) -> TuneResult {
+        let space = MSpace::new();
+        let mut evaluations = 0;
+        let mut best = MConfig::gpu_default();
+        let mut best_cost = f64::INFINITY;
+        for cfg in space.enumerate().into_iter().step_by(self.coarse_stride) {
+            let cost = oracle(&cfg);
+            evaluations += 1;
+            if cost < best_cost {
+                best_cost = cost;
+                best = cfg;
+            }
+        }
+        // Hill-climb on the fine grid.
+        let mut remaining = self.refine_budget;
+        loop {
+            let mut improved = false;
+            for n in space.neighbors(&best) {
+                if remaining == 0 {
+                    break;
+                }
+                remaining -= 1;
+                let cost = oracle(&n);
+                evaluations += 1;
+                if cost < best_cost {
+                    best_cost = cost;
+                    best = n;
+                    improved = true;
+                }
+            }
+            if !improved || remaining == 0 {
+                break;
+            }
+        }
+        TuneResult {
+            config: best,
+            cost: best_cost,
+            evaluations,
+        }
+    }
+}
+
+impl Default for Autotuner {
+    fn default() -> Self {
+        Autotuner::exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heteromap_model::Accelerator;
+
+    /// A synthetic convex oracle: best at GPU, global_threads = 0.7,
+    /// local_threads = 0.3.
+    fn convex_oracle(cfg: &MConfig) -> f64 {
+        let accel_penalty = match cfg.accelerator {
+            Accelerator::Gpu => 0.0,
+            Accelerator::Multicore => 5.0,
+        };
+        accel_penalty
+            + (cfg.global_threads - 0.7).powi(2)
+            + (cfg.local_threads - 0.3).powi(2)
+            + 1.0
+    }
+
+    #[test]
+    fn finds_the_convex_optimum() {
+        let result = Autotuner::exhaustive().tune(convex_oracle);
+        assert_eq!(result.config.accelerator, Accelerator::Gpu);
+        assert!((result.config.global_threads - 0.7).abs() <= 0.051);
+        assert!((result.config.local_threads - 0.3).abs() <= 0.051);
+    }
+
+    #[test]
+    fn refinement_improves_on_coarse_grid() {
+        // Optimum at 0.7/0.3 is off the coarse {0, .25, .5, .75, 1} grid,
+        // so refinement must lower the cost.
+        let coarse_only = Autotuner::exhaustive().with_refine_budget(0).tune(convex_oracle);
+        let refined = Autotuner::exhaustive().tune(convex_oracle);
+        assert!(refined.cost <= coarse_only.cost);
+        assert!(refined.cost < coarse_only.cost + 1e-12);
+    }
+
+    #[test]
+    fn fast_tuner_spends_fewer_evaluations() {
+        let fast = Autotuner::fast().tune(convex_oracle);
+        let full = Autotuner::exhaustive().tune(convex_oracle);
+        assert!(fast.evaluations < full.evaluations);
+    }
+
+    #[test]
+    fn cost_matches_oracle_at_result() {
+        let r = Autotuner::fast().tune(convex_oracle);
+        assert!((convex_oracle(&r.config) - r.cost).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "stride must be positive")]
+    fn zero_stride_panics() {
+        let _ = Autotuner::fast().with_coarse_stride(0);
+    }
+}

@@ -1,0 +1,245 @@
+//! Minimal dense linear algebra: just enough for ridge regression via
+//! normal equations (the paper fits its regression in Matlab and ports it to
+//! C++; we solve in-crate instead — DESIGN.md §2).
+
+/// A dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `Aᵀ · A` (Gram matrix), the left side of the normal equations.
+    pub fn gram(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.cols);
+        for i in 0..self.cols {
+            for j in i..self.cols {
+                let mut sum = 0.0;
+                for r in 0..self.rows {
+                    sum += self[(r, i)] * self[(r, j)];
+                }
+                out[(i, j)] = sum;
+                out[(j, i)] = sum;
+            }
+        }
+        out
+    }
+
+    /// `Aᵀ · y` for a right-hand-side vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y.len() != rows`.
+    pub fn transpose_mul_vec(&self, y: &[f64]) -> Vec<f64> {
+        assert_eq!(y.len(), self.rows, "rhs length mismatch");
+        let mut out = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out[c] += self[(r, c)] * y[r];
+            }
+        }
+        out
+    }
+
+    /// Solves `self · x = b` in place via Gaussian elimination with partial
+    /// pivoting. Returns `None` if the matrix is (numerically) singular.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square or `b.len() != rows`.
+    pub fn solve(&self, b: &[f64]) -> Option<Vec<f64>> {
+        assert_eq!(self.rows, self.cols, "solve requires a square matrix");
+        assert_eq!(b.len(), self.rows, "rhs length mismatch");
+        let n = self.rows;
+        let mut a = self.data.clone();
+        let mut x = b.to_vec();
+        for col in 0..n {
+            // Partial pivot.
+            let mut pivot = col;
+            for r in (col + 1)..n {
+                if a[r * n + col].abs() > a[pivot * n + col].abs() {
+                    pivot = r;
+                }
+            }
+            if a[pivot * n + col].abs() < 1e-12 {
+                return None;
+            }
+            if pivot != col {
+                for c in 0..n {
+                    a.swap(col * n + c, pivot * n + c);
+                }
+                x.swap(col, pivot);
+            }
+            let diag = a[col * n + col];
+            for r in (col + 1)..n {
+                let factor = a[r * n + col] / diag;
+                if factor == 0.0 {
+                    continue;
+                }
+                for c in col..n {
+                    a[r * n + c] -= factor * a[col * n + c];
+                }
+                x[r] -= factor * x[col];
+            }
+        }
+        // Back substitution.
+        for col in (0..n).rev() {
+            let mut sum = x[col];
+            for c in (col + 1)..n {
+                sum -= a[col * n + c] * x[c];
+            }
+            x[col] = sum / a[col * n + col];
+        }
+        Some(x)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+/// Solves the ridge-regularized least squares `min ‖A·w − y‖² + λ‖w‖²` via
+/// the normal equations `(AᵀA + λI) w = Aᵀy`.
+///
+/// Returns `None` only if the regularized system is singular (λ = 0 with
+/// rank-deficient `A`).
+///
+/// # Panics
+///
+/// Panics if `y.len() != a.rows()` or `lambda < 0`.
+pub fn ridge_solve(a: &Matrix, y: &[f64], lambda: f64) -> Option<Vec<f64>> {
+    assert!(lambda >= 0.0, "lambda must be non-negative");
+    let mut gram = a.gram();
+    for i in 0..gram.rows() {
+        gram[(i, i)] += lambda;
+    }
+    gram.solve(&a.transpose_mul_vec(y))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_identity_returns_rhs() {
+        let i = Matrix::identity(3);
+        assert_eq!(i.solve(&[1.0, 2.0, 3.0]).unwrap(), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn solve_2x2() {
+        // 2x + y = 5; x + 3y = 10 -> x = 1, y = 3
+        let a = Matrix::from_rows(2, 2, vec![2.0, 1.0, 1.0, 3.0]);
+        let x = a.solve(&[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_returns_none() {
+        let a = Matrix::from_rows(2, 2, vec![1.0, 2.0, 2.0, 4.0]);
+        assert!(a.solve(&[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Leading zero forces a row swap.
+        let a = Matrix::from_rows(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
+        let x = a.solve(&[7.0, 9.0]).unwrap();
+        assert_eq!(x, vec![9.0, 7.0]);
+    }
+
+    #[test]
+    fn ridge_recovers_exact_line() {
+        // y = 2x + 1 sampled exactly; λ = 0 recovers coefficients.
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let mut a = Matrix::zeros(4, 2);
+        let mut y = Vec::new();
+        for (r, &x) in xs.iter().enumerate() {
+            a[(r, 0)] = 1.0;
+            a[(r, 1)] = x;
+            y.push(2.0 * x + 1.0);
+        }
+        let w = ridge_solve(&a, &y, 0.0).unwrap();
+        assert!((w[0] - 1.0).abs() < 1e-9);
+        assert!((w[1] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ridge_shrinks_towards_zero() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let mut a = Matrix::zeros(4, 2);
+        let mut y = Vec::new();
+        for (r, &x) in xs.iter().enumerate() {
+            a[(r, 0)] = 1.0;
+            a[(r, 1)] = x;
+            y.push(2.0 * x + 1.0);
+        }
+        let w0 = ridge_solve(&a, &y, 0.0).unwrap();
+        let w9 = ridge_solve(&a, &y, 100.0).unwrap();
+        assert!(w9[1].abs() < w0[1].abs());
+    }
+
+    #[test]
+    fn gram_is_symmetric_psd_diagonal() {
+        let a = Matrix::from_rows(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let g = a.gram();
+        assert_eq!(g[(0, 1)], g[(1, 0)]);
+        assert!(g[(0, 0)] >= 0.0 && g[(1, 1)] >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "data length mismatch")]
+    fn bad_dimensions_panic() {
+        let _ = Matrix::from_rows(2, 2, vec![1.0]);
+    }
+}

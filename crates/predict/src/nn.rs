@@ -1,0 +1,364 @@
+//! Feed-forward deep-learning predictor (§V-B, Fig. 10).
+//!
+//! The paper's network has 17 input neurons (13 B + 4 I), two internal
+//! layers, and one output neuron per `M` choice; internal width is swept
+//! over 16/32/64/128 in Table IV ("Deep.16" … "Deep.128"). Training is
+//! plain mini-batch SGD with momentum on MSE loss, implemented from scratch
+//! (no external ML dependency).
+
+use crate::predictor::{features, Predictor, TrainingSet};
+use heteromap_model::{BVector, IVector, MConfig, BI_DIM, M_DIM};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One fully-connected layer with sigmoid activation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Layer {
+    inputs: usize,
+    outputs: usize,
+    /// Row-major `outputs × inputs`.
+    weights: Vec<f64>,
+    biases: Vec<f64>,
+    /// Momentum buffers.
+    w_vel: Vec<f64>,
+    b_vel: Vec<f64>,
+}
+
+impl Layer {
+    fn new(inputs: usize, outputs: usize, rng: &mut StdRng) -> Self {
+        // Xavier-style init.
+        let scale = (2.0 / (inputs + outputs) as f64).sqrt();
+        Layer {
+            inputs,
+            outputs,
+            weights: (0..inputs * outputs)
+                .map(|_| rng.gen_range(-scale..scale))
+                .collect(),
+            biases: vec![0.0; outputs],
+            w_vel: vec![0.0; inputs * outputs],
+            b_vel: vec![0.0; outputs],
+        }
+    }
+
+    fn forward(&self, input: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        for o in 0..self.outputs {
+            let row = &self.weights[o * self.inputs..(o + 1) * self.inputs];
+            let z: f64 = row
+                .iter()
+                .zip(input.iter())
+                .map(|(w, x)| w * x)
+                .sum::<f64>()
+                + self.biases[o];
+            out.push(sigmoid(z));
+        }
+    }
+}
+
+fn sigmoid(z: f64) -> f64 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+/// Hyper-parameters for training.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Internal layer width (Table IV sweeps 16/32/64/128).
+    pub hidden: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// SGD learning rate.
+    pub learning_rate: f64,
+    /// Momentum coefficient.
+    pub momentum: f64,
+    /// RNG seed (weights + shuffling).
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            hidden: 128,
+            epochs: 250,
+            learning_rate: 0.15,
+            momentum: 0.85,
+            seed: 42,
+        }
+    }
+}
+
+/// The trained deep predictor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NeuralPredictor {
+    name: String,
+    layers: Vec<Layer>,
+}
+
+impl NeuralPredictor {
+    /// Trains a `17 → hidden → hidden → 20` network on the profiler
+    /// database.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the training set is empty or `hidden == 0`.
+    pub fn train(set: &TrainingSet, config: TrainConfig) -> Self {
+        assert!(!set.is_empty(), "cannot train on an empty set");
+        assert!(config.hidden > 0, "hidden width must be positive");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut layers = vec![
+            Layer::new(BI_DIM, config.hidden, &mut rng),
+            Layer::new(config.hidden, config.hidden, &mut rng),
+            Layer::new(config.hidden, M_DIM, &mut rng),
+        ];
+        let data: Vec<([f64; BI_DIM], [f64; M_DIM])> = set
+            .samples()
+            .iter()
+            .map(|s| (features(&s.b, &s.i), s.optimal.as_array()))
+            .collect();
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        let mut acts: Vec<Vec<f64>> = vec![Vec::new(); layers.len()];
+        let mut deltas: Vec<Vec<f64>> = vec![Vec::new(); layers.len()];
+        for _ in 0..config.epochs {
+            order.shuffle(&mut rng);
+            for &idx in &order {
+                let (x, y) = &data[idx];
+                // Forward.
+                for (l, layer) in layers.iter().enumerate() {
+                    let (head, tail) = acts.split_at_mut(l);
+                    let src: &[f64] = if l == 0 { x } else { &head[l - 1] };
+                    layer.forward(src, &mut tail[0]);
+                }
+                // Output deltas (MSE with sigmoid derivative).
+                let last = layers.len() - 1;
+                deltas[last].clear();
+                for (o, &a) in acts[last].iter().enumerate() {
+                    deltas[last].push((a - y[o]) * a * (1.0 - a));
+                }
+                // Hidden deltas.
+                for l in (0..last).rev() {
+                    let layer_next = &layers[l + 1];
+                    let mut cur = vec![0.0; layers[l].outputs];
+                    for (h, c) in cur.iter_mut().enumerate() {
+                        let mut sum = 0.0;
+                        for o in 0..layer_next.outputs {
+                            sum +=
+                                layer_next.weights[o * layer_next.inputs + h] * deltas[l + 1][o];
+                        }
+                        let a = acts[l][h];
+                        *c = sum * a * (1.0 - a);
+                    }
+                    deltas[l] = cur;
+                }
+                // Gradient step with momentum.
+                for l in 0..layers.len() {
+                    let input_owned: Vec<f64> = if l == 0 {
+                        x.to_vec()
+                    } else {
+                        acts[l - 1].clone()
+                    };
+                    let layer = &mut layers[l];
+                    for o in 0..layer.outputs {
+                        let d = deltas[l][o];
+                        let base = o * layer.inputs;
+                        for (i, &xi) in input_owned.iter().enumerate() {
+                            let g = d * xi;
+                            let v = layer.w_vel[base + i] * config.momentum
+                                - config.learning_rate * g;
+                            layer.w_vel[base + i] = v;
+                            layer.weights[base + i] += v;
+                        }
+                        let v = layer.b_vel[o] * config.momentum - config.learning_rate * d;
+                        layer.b_vel[o] = v;
+                        layer.biases[o] += v;
+                    }
+                }
+            }
+        }
+        NeuralPredictor {
+            name: format!("Deep.{}", config.hidden),
+            layers,
+        }
+    }
+
+    /// Mean squared error over a set (diagnostics / convergence tests).
+    pub fn mse(&self, set: &TrainingSet) -> f64 {
+        let mut total = 0.0;
+        let mut n = 0;
+        for s in set.samples() {
+            let out = self.forward(&features(&s.b, &s.i));
+            for (o, t) in out.iter().zip(s.optimal.as_array().iter()) {
+                total += (o - t) * (o - t);
+                n += 1;
+            }
+        }
+        total / n.max(1) as f64
+    }
+
+    fn forward(&self, x: &[f64; BI_DIM]) -> Vec<f64> {
+        let mut cur = x.to_vec();
+        let mut next = Vec::new();
+        for layer in &self.layers {
+            layer.forward(&cur, &mut next);
+            std::mem::swap(&mut cur, &mut next);
+        }
+        cur
+    }
+
+    /// Approximate multiply count per inference (overhead analysis).
+    pub fn flops_per_inference(&self) -> usize {
+        self.layers.iter().map(|l| l.inputs * l.outputs).sum()
+    }
+}
+
+impl Predictor for NeuralPredictor {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn predict(&self, b: &BVector, i: &IVector) -> MConfig {
+        let out = self.forward(&features(b, i));
+        let mut arr = [0.0; M_DIM];
+        arr.copy_from_slice(&out);
+        MConfig::from_array(arr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictor::TrainingSample;
+    use heteromap_graph::GraphStats;
+    use heteromap_model::workload::IterationModel;
+    use heteromap_model::{Accelerator, Workload};
+
+    /// A tiny synthetic task: parallel workloads -> GPU, shared-data -> MC.
+    fn toy_set() -> TrainingSet {
+        let mut set = TrainingSet::new();
+        for k in 0..40 {
+            let parallel = k % 2 == 0;
+            let b = if parallel {
+                Workload::SsspBf.b_vector()
+            } else {
+                Workload::SsspDelta.b_vector()
+            };
+            let stats = GraphStats::from_known(1000 + k, 8000, 50, 10);
+            let i = IVector::from_normalized(
+                [0.1 * (k % 10) as f64, 0.5, 0.2, 0.1],
+                stats,
+            );
+            let optimal = if parallel {
+                MConfig::gpu_default()
+            } else {
+                MConfig::multicore_default()
+            };
+            set.push(TrainingSample {
+                b,
+                i,
+                stats,
+                iteration_model: IterationModel::Fixed(10),
+                work_per_edge: 1.0,
+                optimal,
+                optimal_cost: 1.0,
+            });
+        }
+        set
+    }
+
+    #[test]
+    fn learns_accelerator_separation() {
+        let set = toy_set();
+        let nn = NeuralPredictor::train(
+            &set,
+            TrainConfig {
+                hidden: 16,
+                epochs: 200,
+                ..TrainConfig::default()
+            },
+        );
+        let i = set.samples()[0].i;
+        let gpu_pred = nn.predict(&Workload::SsspBf.b_vector(), &i);
+        let mc_pred = nn.predict(&Workload::SsspDelta.b_vector(), &i);
+        assert_eq!(gpu_pred.accelerator, Accelerator::Gpu);
+        assert_eq!(mc_pred.accelerator, Accelerator::Multicore);
+    }
+
+    #[test]
+    fn training_reduces_mse() {
+        let set = toy_set();
+        let short = NeuralPredictor::train(
+            &set,
+            TrainConfig {
+                hidden: 16,
+                epochs: 1,
+                seed: 1,
+                ..TrainConfig::default()
+            },
+        );
+        let long = NeuralPredictor::train(
+            &set,
+            TrainConfig {
+                hidden: 16,
+                epochs: 150,
+                seed: 1,
+                ..TrainConfig::default()
+            },
+        );
+        assert!(
+            long.mse(&set) < short.mse(&set),
+            "long {} vs short {}",
+            long.mse(&set),
+            short.mse(&set)
+        );
+    }
+
+    #[test]
+    fn name_reflects_width() {
+        let set = toy_set();
+        let nn = NeuralPredictor::train(
+            &set,
+            TrainConfig {
+                hidden: 32,
+                epochs: 1,
+                ..TrainConfig::default()
+            },
+        );
+        assert_eq!(nn.name(), "Deep.32");
+    }
+
+    #[test]
+    fn wider_network_has_more_flops() {
+        let set = toy_set();
+        let cfg = |h| TrainConfig {
+            hidden: h,
+            epochs: 1,
+            ..TrainConfig::default()
+        };
+        let small = NeuralPredictor::train(&set, cfg(16));
+        let big = NeuralPredictor::train(&set, cfg(128));
+        assert!(big.flops_per_inference() > small.flops_per_inference());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_set_panics() {
+        let _ = NeuralPredictor::train(&TrainingSet::new(), TrainConfig::default());
+    }
+
+    #[test]
+    fn outputs_are_in_unit_range() {
+        let set = toy_set();
+        let nn = NeuralPredictor::train(
+            &set,
+            TrainConfig {
+                hidden: 16,
+                epochs: 5,
+                ..TrainConfig::default()
+            },
+        );
+        let s = &set.samples()[0];
+        for v in nn.predict(&s.b, &s.i).as_array() {
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+}

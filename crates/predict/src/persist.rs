@@ -1,0 +1,221 @@
+//! File persistence for the profiler database.
+//!
+//! §V: the offline phase "creates a profiler database of B, I, M tuples
+//! residing in the CPU file system". This module serializes a
+//! [`TrainingSet`] to a line-oriented text format (one row per tuple) and
+//! back, with no dependencies beyond std — human-inspectable like the
+//! paper's database dumps.
+
+use crate::predictor::{TrainingSample, TrainingSet};
+use heteromap_graph::GraphStats;
+use heteromap_model::workload::IterationModel;
+use heteromap_model::{BVector, IVector, MConfig, B_DIM, I_DIM, M_DIM};
+use std::fmt::Write as _;
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+/// Magic first line of the database format.
+const HEADER: &str = "heteromap-profiler-db v1";
+
+/// Errors while reading a persisted database.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The stream is not a v1 profiler database.
+    BadHeader(String),
+    /// A row could not be parsed.
+    BadRow {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "i/o error: {e}"),
+            PersistError::BadHeader(h) => write!(f, "unrecognized header {h:?}"),
+            PersistError::BadRow { line, reason } => {
+                write!(f, "bad row at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+/// Writes `set` to `writer` in the v1 text format.
+///
+/// # Errors
+///
+/// Returns any I/O error from the writer.
+pub fn write_database<W: Write>(set: &TrainingSet, mut writer: W) -> Result<(), PersistError> {
+    writeln!(writer, "{HEADER}")?;
+    for s in set.samples() {
+        let mut line = String::new();
+        for v in s.b.as_array() {
+            let _ = write!(line, "{v} ");
+        }
+        for v in s.i.as_array() {
+            let _ = write!(line, "{v} ");
+        }
+        let _ = write!(
+            line,
+            "{} {} {} {} ",
+            s.stats.vertices, s.stats.edges, s.stats.max_degree, s.stats.diameter
+        );
+        let (kind, param) = match s.iteration_model {
+            IterationModel::DiameterBound { factor } => (0u8, factor),
+            IterationModel::Fixed(n) => (1, n as f64),
+            IterationModel::Single => (2, 0.0),
+        };
+        let _ = write!(line, "{kind} {param} {} ", s.work_per_edge);
+        for v in s.optimal.as_array() {
+            let _ = write!(line, "{v} ");
+        }
+        let _ = write!(line, "{}", s.optimal_cost);
+        writeln!(writer, "{line}")?;
+    }
+    Ok(())
+}
+
+/// Reads a database previously written by [`write_database`].
+///
+/// # Errors
+///
+/// Returns [`PersistError`] on I/O failures, a wrong header, or malformed
+/// rows.
+pub fn read_database<R: Read>(reader: R) -> Result<TrainingSet, PersistError> {
+    let mut lines = BufReader::new(reader).lines();
+    let header = lines.next().transpose()?.unwrap_or_default();
+    if header != HEADER {
+        return Err(PersistError::BadHeader(header));
+    }
+    let mut set = TrainingSet::new();
+    for (idx, line) in lines.enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let row = parse_row(&line).map_err(|reason| PersistError::BadRow {
+            line: idx + 2,
+            reason,
+        })?;
+        set.push(row);
+    }
+    Ok(set)
+}
+
+fn parse_row(line: &str) -> Result<TrainingSample, String> {
+    let mut it = line.split_whitespace();
+    let mut next_f64 = |what: &str| -> Result<f64, String> {
+        it.next()
+            .ok_or_else(|| format!("missing {what}"))?
+            .parse::<f64>()
+            .map_err(|e| format!("bad {what}: {e}"))
+    };
+    let mut b = [0.0; B_DIM];
+    for (k, v) in b.iter_mut().enumerate() {
+        *v = next_f64(&format!("B{}", k + 1))?;
+    }
+    let mut i = [0.0; I_DIM];
+    for (k, v) in i.iter_mut().enumerate() {
+        *v = next_f64(&format!("I{}", k + 1))?;
+    }
+    let stats = GraphStats::from_known(
+        next_f64("vertices")? as u64,
+        next_f64("edges")? as u64,
+        next_f64("max_degree")? as u64,
+        next_f64("diameter")? as u64,
+    );
+    let kind = next_f64("iteration kind")? as u8;
+    let param = next_f64("iteration param")?;
+    let iteration_model = match kind {
+        0 => IterationModel::DiameterBound { factor: param },
+        1 => IterationModel::Fixed(param as u32),
+        2 => IterationModel::Single,
+        other => return Err(format!("unknown iteration kind {other}")),
+    };
+    let work_per_edge = next_f64("work_per_edge")?;
+    let mut m = [0.0; M_DIM];
+    for (k, v) in m.iter_mut().enumerate() {
+        *v = next_f64(&format!("M{}", k + 1))?;
+    }
+    let optimal_cost = next_f64("optimal_cost")?;
+    Ok(TrainingSample {
+        b: BVector::new_unchecked(b),
+        i: IVector::from_normalized(i, stats),
+        stats,
+        iteration_model,
+        work_per_edge,
+        optimal: MConfig::from_array(m),
+        optimal_cost,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trainer::Trainer;
+    use heteromap_accel::system::MultiAcceleratorSystem;
+
+    fn round_trip(set: &TrainingSet) -> TrainingSet {
+        let mut buf = Vec::new();
+        write_database(set, &mut buf).unwrap();
+        read_database(&buf[..]).unwrap()
+    }
+
+    #[test]
+    fn database_round_trips_through_text() {
+        let set = Trainer::new(MultiAcceleratorSystem::primary()).generate_database(10, 4);
+        let back = round_trip(&set);
+        assert_eq!(back.len(), set.len());
+        for (a, b) in set.samples().iter().zip(back.samples()) {
+            assert_eq!(a.b, b.b);
+            assert_eq!(a.i.as_array(), b.i.as_array());
+            assert_eq!(a.stats, b.stats);
+            assert_eq!(a.optimal, b.optimal);
+            assert!((a.optimal_cost - b.optimal_cost).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_database_round_trips() {
+        let back = round_trip(&TrainingSet::new());
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn wrong_header_is_rejected() {
+        let err = read_database("not a database\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, PersistError::BadHeader(_)));
+    }
+
+    #[test]
+    fn truncated_row_is_rejected_with_line_number() {
+        let text = format!("{HEADER}\n0.5 0.5\n");
+        let err = read_database(text.as_bytes()).unwrap_err();
+        match err {
+            PersistError::BadRow { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = PersistError::BadRow {
+            line: 7,
+            reason: "missing B1".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+    }
+}

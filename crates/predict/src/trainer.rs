@@ -1,0 +1,150 @@
+//! Offline training pipeline (§V, Fig. 8 step 1): generate synthetic
+//! benchmark-input combinations, autotune each on the multi-accelerator
+//! system, and store the optimal `(B, I, M)` tuples in the profiler
+//! database.
+
+use crate::autotune::Autotuner;
+use crate::predictor::{Objective, TrainingSample, TrainingSet};
+use crate::synth::{SyntheticBenchmarks, SyntheticInputs};
+use heteromap_accel::cost::WorkloadContext;
+use heteromap_accel::system::MultiAcceleratorSystem;
+use heteromap_model::MConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The offline trainer.
+#[derive(Debug, Clone)]
+pub struct Trainer {
+    system: MultiAcceleratorSystem,
+    objective: Objective,
+    tuner: Autotuner,
+}
+
+impl Trainer {
+    /// Creates a trainer for `system` optimizing completion time.
+    pub fn new(system: MultiAcceleratorSystem) -> Self {
+        Trainer {
+            system,
+            objective: Objective::Performance,
+            tuner: Autotuner::fast(),
+        }
+    }
+
+    /// Switches the tuning objective (§VII-C trains for energy too).
+    pub fn with_objective(mut self, objective: Objective) -> Self {
+        self.objective = objective;
+        self
+    }
+
+    /// Replaces the autotuner (e.g. [`Autotuner::exhaustive`] for slower,
+    /// closer-to-optimal databases).
+    pub fn with_tuner(mut self, tuner: Autotuner) -> Self {
+        self.tuner = tuner;
+        self
+    }
+
+    /// The objective being optimized.
+    pub fn objective(&self) -> Objective {
+        self.objective
+    }
+
+    /// The system being trained for.
+    pub fn system(&self) -> &MultiAcceleratorSystem {
+        &self.system
+    }
+
+    /// Cost of deploying `ctx` with `cfg` under the configured objective.
+    pub fn cost(&self, ctx: &WorkloadContext, cfg: &MConfig) -> f64 {
+        let report = self.system.deploy(ctx, cfg);
+        match self.objective {
+            Objective::Performance => report.time_ms,
+            Objective::Energy => report.energy_j,
+        }
+    }
+
+    /// Generates a profiler database of `samples` autotuned synthetic
+    /// combinations ("only one M combination tuple is selected, which
+    /// provides the best performance").
+    pub fn generate_database(&self, samples: usize, seed: u64) -> TrainingSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bench_gen = SyntheticBenchmarks::new();
+        let input_gen = SyntheticInputs::with_meshes();
+        let mut set = TrainingSet::new();
+        for _ in 0..samples {
+            let bench = bench_gen.sample(&mut rng);
+            let (stats, i) = input_gen.sample(&mut rng);
+            let ctx = WorkloadContext::synthetic(
+                bench.b,
+                stats,
+                bench.iteration_model,
+                bench.work_per_edge,
+            );
+            let tuned = self.tuner.tune(|cfg| self.cost(&ctx, cfg));
+            set.push(TrainingSample {
+                b: bench.b,
+                i,
+                stats,
+                iteration_model: bench.iteration_model,
+                work_per_edge: bench.work_per_edge,
+                optimal: tuned.config,
+                optimal_cost: tuned.cost,
+            });
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heteromap_model::Accelerator;
+
+    #[test]
+    fn database_has_requested_size() {
+        let trainer = Trainer::new(MultiAcceleratorSystem::primary());
+        let set = trainer.generate_database(12, 1);
+        assert_eq!(set.len(), 12);
+    }
+
+    #[test]
+    fn database_is_deterministic_per_seed() {
+        let trainer = Trainer::new(MultiAcceleratorSystem::primary());
+        let a = trainer.generate_database(5, 9);
+        let b = trainer.generate_database(5, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn optimal_costs_are_positive_and_finite() {
+        let trainer = Trainer::new(MultiAcceleratorSystem::primary());
+        let set = trainer.generate_database(8, 2);
+        for s in set.samples() {
+            assert!(s.optimal_cost.is_finite() && s.optimal_cost > 0.0);
+        }
+    }
+
+    #[test]
+    fn both_accelerators_appear_in_a_modest_database() {
+        let trainer = Trainer::new(MultiAcceleratorSystem::primary());
+        let set = trainer.generate_database(40, 3);
+        let gpus = set
+            .samples()
+            .iter()
+            .filter(|s| s.optimal.accelerator == Accelerator::Gpu)
+            .count();
+        assert!(gpus > 0 && gpus < set.len(), "gpu share {gpus}/40");
+    }
+
+    #[test]
+    fn energy_objective_changes_cost_metric() {
+        let perf = Trainer::new(MultiAcceleratorSystem::primary());
+        let energy = Trainer::new(MultiAcceleratorSystem::primary())
+            .with_objective(Objective::Energy);
+        assert_eq!(energy.objective(), Objective::Energy);
+        let set = perf.generate_database(3, 5);
+        let s = &set.samples()[0];
+        let ctx = WorkloadContext::synthetic(s.b, s.stats, s.iteration_model, s.work_per_edge);
+        let cfg = MConfig::gpu_default();
+        assert_ne!(perf.cost(&ctx, &cfg), energy.cost(&ctx, &cfg));
+    }
+}

@@ -1,0 +1,50 @@
+//! Energy-objective scheduling (§VII-C): train HeteroMap for energy instead
+//! of completion time and compare the placements and joules.
+//!
+//! Run with: `cargo run --release --example energy_aware`
+
+use heteromap::HeteroMap;
+use heteromap_accel::system::MultiAcceleratorSystem;
+use heteromap_graph::datasets::Dataset;
+use heteromap_model::Workload;
+use heteromap_predict::Objective;
+
+fn main() {
+    let system = MultiAcceleratorSystem::primary();
+    println!("training two Deep.128 models (performance vs energy objective)...\n");
+    let perf = HeteroMap::train_deep_for(system.clone(), 300, 42, Objective::Performance);
+    let energy = HeteroMap::train_deep_for(system, 300, 42, Objective::Energy);
+
+    println!(
+        "{:<12}{:>6} | {:>22} | {:>22}",
+        "combo", "", "performance-trained", "energy-trained"
+    );
+    let mut perf_joules = 0.0;
+    let mut energy_joules = 0.0;
+    for w in [Workload::SsspBf, Workload::PageRank, Workload::TriangleCount] {
+        for d in [Dataset::Facebook, Dataset::Cage14, Dataset::RggN24] {
+            let p = perf.schedule(w, d);
+            let e = energy.schedule(w, d);
+            perf_joules += p.report.energy_j;
+            energy_joules += e.report.energy_j;
+            println!(
+                "{:<12}{:>6} | {:>9} {:>7.1} J | {:>9} {:>7.1} J",
+                w.abbrev(),
+                d.abbrev(),
+                p.accelerator().to_string(),
+                p.report.energy_j,
+                e.accelerator().to_string(),
+                e.report.energy_j
+            );
+        }
+    }
+    println!(
+        "\ntotal: {perf_joules:.1} J (performance objective) vs {energy_joules:.1} J \
+         (energy objective)"
+    );
+    println!(
+        "The Xeon Phi's 300 W rating pushes energy-trained placements toward\n\
+         the 60 W GPU wherever times are close — the paper's 2.4x energy\n\
+         benefit mechanism (Fig. 12)."
+    );
+}

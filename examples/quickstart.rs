@@ -1,0 +1,49 @@
+//! Quickstart: schedule the paper's workloads on the primary
+//! multi-accelerator setup with the zero-training decision tree, then with
+//! a trained deep learner.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use heteromap::HeteroMap;
+use heteromap_graph::datasets::Dataset;
+use heteromap_model::Workload;
+
+fn main() {
+    // 1. The Section-IV decision-tree heuristic needs no training.
+    let tree = HeteroMap::with_decision_tree();
+    println!("decision-tree placements on the GTX-750Ti + Xeon Phi pair:\n");
+    for (w, d) in [
+        (Workload::SsspBf, Dataset::UsaCal),
+        (Workload::SsspDelta, Dataset::UsaCal),
+        (Workload::Bfs, Dataset::Twitter),
+        (Workload::PageRank, Dataset::LiveJournal),
+        (Workload::TriangleCount, Dataset::MouseRetina),
+    ] {
+        let p = tree.schedule(w, d);
+        println!(
+            "  {:>10} on {:>4} -> {:<9} {:>10.2} ms  (util {:>4.1}%, {:.1} J)",
+            w.abbrev(),
+            d.abbrev(),
+            p.accelerator().to_string(),
+            p.report.time_ms,
+            p.report.utilization * 100.0,
+            p.report.energy_j
+        );
+    }
+
+    // 2. The paper's best learner: Deep.128, trained offline on autotuned
+    //    synthetic benchmark-input combinations (a few seconds here;
+    //    "several hours" on the paper's physical testbed).
+    println!("\ntraining Deep.128 on 300 synthetic combinations...");
+    let deep = HeteroMap::with_trained_deep(300, 42);
+    println!("trained predictor: {}\n", deep.predictor_name());
+    for d in Dataset::all() {
+        let p = deep.schedule(Workload::SsspDelta, d);
+        println!(
+            "  SSSP-Delta on {:>4} -> {:<9} {:>10.2} ms",
+            d.abbrev(),
+            p.accelerator().to_string(),
+            p.report.time_ms
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! The paper's Fig. 1 motivation, end to end — and with *real kernels*:
+//! runs Δ-stepping SSSP on a road-network surrogate and a dense-matrix
+//! surrogate across host thread counts, then shows how the simulator's
+//! accelerator choice mirrors the measured shape.
+//!
+//! Run with: `cargo run --release --example road_vs_social`
+
+use heteromap::HeteroMap;
+use heteromap_graph::datasets::Dataset;
+use heteromap_kernels::KernelRunner;
+use heteromap_model::Workload;
+
+fn main() {
+    println!("real host execution: SSSP-Delta on structural surrogates\n");
+    for dataset in [Dataset::UsaCal, Dataset::Cage14] {
+        let graph = dataset.surrogate_graph(20_000, 7);
+        let s = graph.stats();
+        println!(
+            "--- {} surrogate: {} vertices, {} edges, diameter {} ---",
+            dataset.full_name(),
+            s.vertices,
+            s.edges,
+            s.diameter
+        );
+        for threads in [1usize, 2, 4, 8] {
+            let run = KernelRunner::new(threads).run(Workload::SsspDelta, &graph);
+            println!(
+                "  {threads:>2} threads: {:>8.2} ms (checksum {:.0})",
+                run.elapsed.as_secs_f64() * 1e3,
+                run.output.checksum()
+            );
+        }
+        println!();
+    }
+
+    println!("simulated accelerator choice for the full-scale inputs:\n");
+    let hm = HeteroMap::with_decision_tree();
+    for dataset in [Dataset::UsaCal, Dataset::Cage14] {
+        let p = hm.schedule(Workload::SsspDelta, dataset);
+        println!(
+            "  SSSP-Delta on {:>4} -> {} ({:.2} ms simulated)",
+            dataset.abbrev(),
+            p.accelerator(),
+            p.report.time_ms
+        );
+    }
+    println!(
+        "\nThe road network's huge diameter produces long dependency chains\n\
+         (multicore-friendly); the dense matrix parallelizes across the\n\
+         GPU's thread surplus — the Fig. 1 trade-off."
+    );
+}

@@ -1,0 +1,60 @@
+//! Stinger-style chunked scheduling (§II): a graph larger than the
+//! accelerator memory is cut into temporal chunks, and HeteroMap predicts
+//! per-chunk machine choices from each chunk's measured characteristics.
+//!
+//! Run with: `cargo run --release --example streaming_chunks`
+
+use heteromap::HeteroMap;
+use heteromap_graph::gen::{GraphGenerator, PowerLaw};
+use heteromap_graph::stream::GraphStream;
+use heteromap_model::Workload;
+
+fn main() {
+    // A social-like graph; pretend device memory only fits a fifth of it.
+    let graph = PowerLaw::new(50_000, 6).generate(3);
+    let budget = graph.footprint_bytes() / 5;
+    println!(
+        "graph: {} vertices, {} edges, {:.1} MB CSR; chunk budget {:.1} MB\n",
+        graph.vertex_count(),
+        graph.edge_count(),
+        graph.footprint_bytes() as f64 / 1e6,
+        budget as f64 / 1e6
+    );
+
+    let stream = GraphStream::with_byte_budget(&graph, budget);
+    println!("chunk characteristics (measured per chunk, Stinger-style):");
+    for chunk in stream.iter() {
+        println!(
+            "  chunk {:>2}: vertices {:>6} edges {:>7} maxdeg {:>5} diameter {:>3}",
+            chunk.index,
+            chunk.stats.vertices,
+            chunk.stats.edges,
+            chunk.stats.max_degree,
+            chunk.stats.diameter
+        );
+    }
+
+    let hm = HeteroMap::with_decision_tree();
+    for workload in [Workload::PageRank, Workload::Bfs, Workload::SsspDelta] {
+        let report = hm.schedule_stream(workload, &graph, budget);
+        let (gpu, mc) = report.accelerator_split();
+        println!(
+            "\n{}: {} chunks -> {} on GPU, {} on multicore; total {:.2} ms, {:.2} J",
+            workload.abbrev(),
+            report.chunks.len(),
+            gpu,
+            mc,
+            report.total_time_ms(),
+            report.total_energy_j()
+        );
+        for p in &report.chunks {
+            print!(" {}", if gpu > 0 && p.accelerator() == heteromap_model::Accelerator::Gpu { "G" } else { "M" });
+        }
+        println!();
+    }
+    println!(
+        "\nPer-chunk prediction lets sparse and dense regions of one graph\n\
+         land on different accelerators — the paper's \"prediction paradigm\n\
+         takes in graph chunk characteristics\" (§II)."
+    );
+}

@@ -1,0 +1,65 @@
+//! The full offline-training flow of Fig. 8: generate synthetic benchmarks
+//! and inputs (Fig. 9 / Table III), autotune each combination against the
+//! multi-accelerator oracle, build the profiler database, train every
+//! learner, and compare them Table-IV-style on the real workloads.
+//!
+//! Run with: `cargo run --release --example train_predictor [samples]`
+
+use heteromap_accel::system::MultiAcceleratorSystem;
+use heteromap_predict::nn::TrainConfig;
+use heteromap_predict::{
+    AdaptiveLibrary, DecisionTree, Evaluator, NeuralPredictor, Objective, Predictor,
+    RegressionPredictor, Trainer,
+};
+
+fn main() {
+    let samples: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300);
+    let system = MultiAcceleratorSystem::primary();
+
+    println!("1. generating profiler database ({samples} autotuned synthetic combos)...");
+    let trainer = Trainer::new(system.clone());
+    let db = trainer.generate_database(samples, 42);
+    let gpu_share = db
+        .samples()
+        .iter()
+        .filter(|s| s.optimal.accelerator == heteromap_model::Accelerator::Gpu)
+        .count();
+    println!(
+        "   database: {} rows ({} optimal on GPU, {} on multicore)\n",
+        db.len(),
+        gpu_share,
+        db.len() - gpu_share
+    );
+
+    println!("2. training learners...");
+    let tree = DecisionTree::paper();
+    let linear = RegressionPredictor::train_linear(&db);
+    let multi = RegressionPredictor::train_multi(&db);
+    let adaptive = AdaptiveLibrary::train(&db);
+    let deep = NeuralPredictor::train(
+        &db,
+        TrainConfig {
+            hidden: 128,
+            ..TrainConfig::default()
+        },
+    );
+    println!("   Deep.128 final train MSE: {:.4}\n", deep.mse(&db));
+
+    println!("3. evaluating on the 81 real benchmark-input combinations...");
+    let evaluator = Evaluator::new(system, Objective::Performance);
+    let learners: [&dyn Predictor; 5] = [&tree, &linear, &multi, &adaptive, &deep];
+    println!(
+        "\n{:<28} {:>12} {:>12} {:>14} {:>14}",
+        "learner", "speedup(%)", "accuracy(%)", "overhead(ms)", "gap vs ideal(%)"
+    );
+    for l in learners {
+        let r = evaluator.evaluate(l);
+        println!(
+            "{:<28} {:>12.1} {:>12.1} {:>14.4} {:>14.1}",
+            r.name, r.speedup_over_gpu_pct, r.accuracy_pct, r.overhead_ms, r.gap_from_ideal_pct
+        );
+    }
+}

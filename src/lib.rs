@@ -1,0 +1,13 @@
+//! Workspace facade for the HeteroMap reproduction.
+//!
+//! Re-exports every subsystem crate so examples and integration tests can use
+//! a single dependency. See the individual crates for documentation:
+//! [`heteromap`] (framework), [`heteromap_graph`], [`heteromap_model`],
+//! [`heteromap_accel`], [`heteromap_kernels`], [`heteromap_predict`].
+
+pub use heteromap;
+pub use heteromap_accel as accel;
+pub use heteromap_graph as graph;
+pub use heteromap_kernels as kernels;
+pub use heteromap_model as model;
+pub use heteromap_predict as predict;

@@ -1,0 +1,122 @@
+//! End-to-end kernel validation on dataset surrogates: every parallel
+//! kernel agrees with its sequential reference across thread counts, on
+//! every structural graph family the paper evaluates.
+
+use heteromap_graph::datasets::Dataset;
+use heteromap_graph::CsrGraph;
+use heteromap_kernels::runner::KernelOutput;
+use heteromap_kernels::verify;
+use heteromap_kernels::KernelRunner;
+use heteromap_model::Workload;
+
+fn surrogates() -> Vec<(Dataset, CsrGraph)> {
+    [Dataset::UsaCal, Dataset::Facebook, Dataset::Cage14]
+        .into_iter()
+        .map(|d| (d, d.surrogate_graph(1_500, 13)))
+        .collect()
+}
+
+#[test]
+fn bfs_matches_reference_on_all_surrogates() {
+    for (d, g) in surrogates() {
+        let expected = verify::bfs_seq(&g, 0);
+        for threads in [1, 3, 8] {
+            let run = KernelRunner::new(threads).run(Workload::Bfs, &g);
+            match run.output {
+                KernelOutput::Levels(l) => assert_eq!(l, expected, "{d}/{threads}"),
+                other => panic!("unexpected output {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn both_sssp_kernels_match_dijkstra() {
+    for (d, g) in surrogates() {
+        let expected = verify::dijkstra(&g, 0);
+        for w in [Workload::SsspBf, Workload::SsspDelta] {
+            let run = KernelRunner::new(4).run(w, &g);
+            match run.output {
+                KernelOutput::Distances(dist) => {
+                    for (v, (&a, &b)) in dist.iter().zip(expected.iter()).enumerate() {
+                        if a.is_finite() || b.is_finite() {
+                            assert!(
+                                (a - b).abs() < 1e-2,
+                                "{d}/{w} vertex {v}: {a} vs {b}"
+                            );
+                        }
+                    }
+                }
+                other => panic!("unexpected output {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn pagerank_variants_agree_and_sum_to_one() {
+    for (d, g) in surrogates() {
+        let runner = KernelRunner::new(4).with_pagerank_iterations(10);
+        let pull = match runner.run(Workload::PageRank, &g).output {
+            KernelOutput::Ranks(r) => r,
+            other => panic!("unexpected {other:?}"),
+        };
+        let push = match runner.run(Workload::PageRankDp, &g).output {
+            KernelOutput::Ranks(r) => r,
+            other => panic!("unexpected {other:?}"),
+        };
+        let sum: f64 = pull.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6, "{d}: pull sums to {sum}");
+        for (v, (a, b)) in pull.iter().zip(push.iter()).enumerate() {
+            assert!((a - b).abs() < 1e-3, "{d} vertex {v}: {a} vs {b}");
+        }
+    }
+}
+
+#[test]
+fn triangle_count_matches_reference_on_undirected_surrogates() {
+    // Grid and power-law surrogates store both edge directions.
+    for d in [Dataset::UsaCal, Dataset::Facebook] {
+        let g = d.surrogate_graph(1_200, 5);
+        let expected = verify::triangle_seq(&g);
+        let run = KernelRunner::new(6).run(Workload::TriangleCount, &g);
+        assert_eq!(run.output, KernelOutput::Count(expected), "{d}");
+    }
+}
+
+#[test]
+fn connected_components_match_union_find() {
+    for (d, g) in surrogates() {
+        let expected = verify::conncomp_seq(&g);
+        let run = KernelRunner::new(4).run(Workload::ConnComp, &g);
+        assert_eq!(run.output, KernelOutput::Labels(expected), "{d}");
+    }
+}
+
+#[test]
+fn dfs_reaches_exactly_the_bfs_reachable_set() {
+    for (d, g) in surrogates() {
+        let reach = verify::bfs_seq(&g, 0);
+        let run = KernelRunner::new(4).run(Workload::Dfs, &g);
+        let parents = match run.output {
+            KernelOutput::Levels(p) => p,
+            other => panic!("unexpected {other:?}"),
+        };
+        for v in 0..g.vertex_count() {
+            assert_eq!(
+                reach[v] != u32::MAX,
+                parents[v] != u32::MAX,
+                "{d} vertex {v}"
+            );
+        }
+    }
+}
+
+#[test]
+fn community_labels_are_stable_across_threads() {
+    for (d, g) in surrogates() {
+        let one = KernelRunner::new(1).run(Workload::Community, &g).output;
+        let many = KernelRunner::new(8).run(Workload::Community, &g).output;
+        assert_eq!(one, many, "{d}");
+    }
+}

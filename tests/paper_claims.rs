@@ -1,0 +1,165 @@
+//! Paper-shape assertions: the qualitative claims of the evaluation section
+//! must hold on the simulated multi-accelerator system (winner directions,
+//! crossovers, and worked-example numbers).
+
+use heteromap_accel::cost::WorkloadContext;
+use heteromap_accel::system::MultiAcceleratorSystem;
+use heteromap_graph::datasets::{Dataset, LiteratureMaxima};
+use heteromap_model::mspace::MSpace;
+use heteromap_model::{Accelerator, Grid, IVector, MConfig, Workload};
+use heteromap_predict::{DecisionTree, Predictor};
+
+fn best_times(w: Workload, d: Dataset, sys: &MultiAcceleratorSystem) -> (f64, f64) {
+    let ctx = WorkloadContext::for_workload(w, d.stats());
+    let space = MSpace::new();
+    let best = |cfgs: Vec<MConfig>| -> f64 {
+        cfgs.iter()
+            .map(|c| sys.deploy(&ctx, c).time_ms)
+            .fold(f64::INFINITY, f64::min)
+    };
+    (
+        best(space.enumerate_for(Accelerator::Gpu)),
+        best(space.enumerate_for(Accelerator::Multicore)),
+    )
+}
+
+#[test]
+fn fig1_road_network_prefers_multicore_for_delta_stepping() {
+    let sys = MultiAcceleratorSystem::primary();
+    let (gpu, mc) = best_times(Workload::SsspDelta, Dataset::UsaCal, &sys);
+    assert!(
+        mc * 1.5 < gpu,
+        "Phi ({mc:.1} ms) should beat the GPU ({gpu:.1} ms) clearly on CA"
+    );
+}
+
+#[test]
+fn fig1_dense_cage_prefers_gpu_for_delta_stepping() {
+    let sys = MultiAcceleratorSystem::primary();
+    let (gpu, mc) = best_times(Workload::SsspDelta, Dataset::Cage14, &sys);
+    assert!(gpu <= mc, "GPU ({gpu:.1} ms) should win CAGE-14 ({mc:.1} ms)");
+}
+
+#[test]
+fn traversals_are_gpu_biased_on_social_graphs() {
+    let sys = MultiAcceleratorSystem::primary();
+    for w in [Workload::SsspBf, Workload::Bfs, Workload::Dfs] {
+        for d in [Dataset::Facebook, Dataset::LiveJournal, Dataset::Friendster] {
+            let (gpu, mc) = best_times(w, d, &sys);
+            assert!(gpu < mc, "{w}/{d}: GPU {gpu:.1} vs MC {mc:.1}");
+        }
+    }
+}
+
+#[test]
+fn fp_workloads_are_multicore_biased_on_mid_size_graphs() {
+    let sys = MultiAcceleratorSystem::primary();
+    for w in [Workload::PageRank, Workload::PageRankDp, Workload::Community] {
+        for d in [Dataset::Facebook, Dataset::LiveJournal] {
+            let (gpu, mc) = best_times(w, d, &sys);
+            assert!(mc < gpu, "{w}/{d}: MC {mc:.1} vs GPU {gpu:.1}");
+        }
+    }
+}
+
+#[test]
+fn friendster_and_kron_flip_multicore_benchmarks_to_gpu() {
+    // §VII-B: "Some notable exceptions in these cases are Frnd. and Kron.
+    // graphs, which perform better on the GPU because they are large."
+    let sys = MultiAcceleratorSystem::primary();
+    for w in [Workload::PageRank, Workload::TriangleCount, Workload::ConnComp] {
+        for d in [Dataset::Friendster, Dataset::KronLarge] {
+            let (gpu, mc) = best_times(w, d, &sys);
+            assert!(gpu < mc, "{w}/{d}: GPU {gpu:.1} vs MC {mc:.1}");
+        }
+    }
+}
+
+#[test]
+fn dfs_on_dense_connectome_flips_to_multicore() {
+    let sys = MultiAcceleratorSystem::primary();
+    let (gpu, mc) = best_times(Workload::Dfs, Dataset::MouseRetina, &sys);
+    assert!(mc < gpu, "DFS-CO: MC {mc:.2} vs GPU {gpu:.2}");
+    let (gpu, mc) = best_times(Workload::Dfs, Dataset::LiveJournal, &sys);
+    assert!(gpu < mc, "DFS-LJ: GPU {gpu:.2} vs MC {mc:.2}");
+}
+
+#[test]
+fn stronger_gpu_wins_more_combinations() {
+    // §VII-D: with the GTX-970, combinations that were "only slightly
+    // better on the Xeon Phi" flip to the GPU.
+    let weak = MultiAcceleratorSystem::primary();
+    let strong = MultiAcceleratorSystem::new(
+        heteromap_accel::AcceleratorSpec::gtx_970(),
+        heteromap_accel::AcceleratorSpec::xeon_phi_7120p(),
+    );
+    let count_gpu_wins = |sys: &MultiAcceleratorSystem| -> usize {
+        Workload::all()
+            .into_iter()
+            .flat_map(|w| Dataset::all().into_iter().map(move |d| (w, d)))
+            .filter(|&(w, d)| {
+                let (gpu, mc) = best_times(w, d, sys);
+                gpu <= mc
+            })
+            .count()
+    };
+    let weak_wins = count_gpu_wins(&weak);
+    let strong_wins = count_gpu_wins(&strong);
+    assert!(
+        strong_wins > weak_wins,
+        "GTX-970 wins {strong_wins} vs GTX-750Ti {weak_wins}"
+    );
+}
+
+#[test]
+fn multicore_improves_with_full_memory() {
+    // Fig. 16: the Phi at 16 GB beats the Phi pinned to 2 GB on graphs
+    // that no longer stream.
+    let pinned = MultiAcceleratorSystem::primary(); // 2 GB
+    let full = MultiAcceleratorSystem::primary().with_memory(2.0, 16.0);
+    let ctx = WorkloadContext::for_workload(Workload::PageRank, Dataset::Twitter.stats());
+    let cfg = MConfig::multicore_default();
+    assert!(full.deploy(&ctx, &cfg).time_ms < pinned.deploy(&ctx, &cfg).time_ms);
+}
+
+#[test]
+fn fig7_decision_tree_reproduces_worked_example() {
+    let tree = DecisionTree::paper();
+    let i = IVector::from_stats(
+        &Dataset::UsaCal.stats(),
+        &LiteratureMaxima::paper(),
+        Grid::PAPER,
+    );
+    let bf = tree.predict(&Workload::SsspBf.b_vector(), &i);
+    assert_eq!(bf.accelerator, Accelerator::Gpu);
+    assert!((bf.global_threads - 0.1).abs() < 1e-9, "M19 = 0.1");
+    assert!((bf.local_threads - 1.0).abs() < 1e-9, "M20 = 1");
+    let delta = tree.predict(&Workload::SsspDelta.b_vector(), &i);
+    assert_eq!(delta.accelerator, Accelerator::Multicore);
+    // Deployed on the Phi: M2 -> 7 cores, M3 -> max 4 threads/core.
+    let phi = heteromap_accel::AcceleratorSpec::xeon_phi_7120p();
+    let limits = phi.deploy_limits();
+    assert_eq!(limits.cores(&delta), 7);
+    assert_eq!(limits.threads_per_core(&delta), 4);
+}
+
+#[test]
+fn i_variable_anchors_match_paper_quotes() {
+    let maxima = LiteratureMaxima::paper();
+    let i = |d: Dataset| IVector::from_stats(&d.stats(), &maxima, Grid::PAPER);
+    assert_eq!(i(Dataset::UsaCal).i1(), 0.1);
+    assert_eq!(i(Dataset::UsaCal).i2(), 0.1);
+    assert_eq!(i(Dataset::UsaCal).i3(), 0.0);
+    assert_eq!(i(Dataset::Twitter).i3(), 1.0);
+    assert_eq!(i(Dataset::RggN24).i4(), 1.0);
+}
+
+#[test]
+fn phi_energy_rating_exceeds_gpu() {
+    // Fig. 12's driver: with comparable times the 300 W Phi burns more.
+    let sys = MultiAcceleratorSystem::primary();
+    let ctx = WorkloadContext::for_workload(Workload::Bfs, Dataset::Facebook.stats());
+    let g = sys.deploy(&ctx, &MConfig::gpu_default());
+    let m = sys.deploy(&ctx, &MConfig::multicore_default());
+    assert!(m.energy_j / m.time_ms > g.energy_j / g.time_ms);
+}

@@ -1,0 +1,130 @@
+//! End-to-end pipeline tests: synthetic training → learned predictor →
+//! deployment, spanning every crate in the workspace.
+
+use heteromap::HeteroMap;
+use heteromap_accel::system::MultiAcceleratorSystem;
+use heteromap_graph::datasets::Dataset;
+use heteromap_model::{Accelerator, Workload};
+use heteromap_predict::nn::TrainConfig;
+use heteromap_predict::{NeuralPredictor, Objective, Trainer};
+
+#[test]
+fn offline_training_to_online_evaluation() {
+    // Fig. 8 end to end: database -> learner -> real-workload placements.
+    let system = MultiAcceleratorSystem::primary();
+    let trainer = Trainer::new(system.clone());
+    let db = trainer.generate_database(80, 11);
+    assert_eq!(db.len(), 80);
+    let nn = NeuralPredictor::train(
+        &db,
+        TrainConfig {
+            hidden: 32,
+            epochs: 60,
+            ..TrainConfig::default()
+        },
+    );
+    let hm = HeteroMap::new(system, Box::new(nn));
+    for w in Workload::all() {
+        for d in Dataset::all() {
+            let p = hm.schedule(w, d);
+            assert!(p.report.time_ms.is_finite() && p.report.time_ms > 0.0, "{w}/{d}");
+            assert!(p.report.energy_j > 0.0);
+            assert!((0.0..=1.0).contains(&p.report.utilization));
+        }
+    }
+}
+
+#[test]
+fn trained_learner_beats_single_accelerator_geomean() {
+    // The headline property: HeteroMap's placements are better in geomean
+    // than always using one machine with a default configuration.
+    let hm = HeteroMap::train_deep_with(
+        MultiAcceleratorSystem::primary(),
+        150,
+        Objective::Performance,
+        TrainConfig { hidden: 32, epochs: 60, seed: 21, ..TrainConfig::default() },
+    );
+    let system = hm.system().clone();
+    let mut ln_hm = 0.0;
+    let mut ln_gpu = 0.0;
+    let mut ln_mc = 0.0;
+    let mut n = 0;
+    for w in Workload::all() {
+        for d in Dataset::all() {
+            let ctx = heteromap_accel::cost::WorkloadContext::for_workload(w, d.stats());
+            let p = hm.schedule(w, d);
+            ln_hm += p.report.time_ms.ln();
+            ln_gpu += system
+                .deploy(&ctx, &heteromap_model::MConfig::gpu_default())
+                .time_ms
+                .ln();
+            ln_mc += system
+                .deploy(&ctx, &heteromap_model::MConfig::multicore_default())
+                .time_ms
+                .ln();
+            n += 1;
+        }
+    }
+    let geo = |ln: f64| (ln / n as f64).exp();
+    assert!(
+        geo(ln_hm) < geo(ln_gpu),
+        "HeteroMap {:.2} should beat default-GPU {:.2}",
+        geo(ln_hm),
+        geo(ln_gpu)
+    );
+    assert!(
+        geo(ln_hm) < geo(ln_mc),
+        "HeteroMap {:.2} should beat default-multicore {:.2}",
+        geo(ln_hm),
+        geo(ln_mc)
+    );
+}
+
+#[test]
+fn energy_training_shifts_placements_toward_low_power() {
+    let system = MultiAcceleratorSystem::primary();
+    let cfg = TrainConfig { hidden: 32, epochs: 60, seed: 5, ..TrainConfig::default() };
+    let perf = HeteroMap::train_deep_with(system.clone(), 100, Objective::Performance, cfg);
+    let energy = HeteroMap::train_deep_with(system, 100, Objective::Energy, cfg);
+    let count_gpu = |hm: &HeteroMap| -> usize {
+        Workload::all()
+            .into_iter()
+            .flat_map(|w| Dataset::all().into_iter().map(move |d| (w, d)))
+            .filter(|&(w, d)| hm.schedule(w, d).accelerator() == Accelerator::Gpu)
+            .count()
+    };
+    // The 60 W GPU should not lose share under the energy objective
+    // relative to the 300 W Phi.
+    assert!(count_gpu(&energy) + 5 >= count_gpu(&perf));
+}
+
+#[test]
+fn database_nearest_lookup_round_trips_through_training() {
+    let system = MultiAcceleratorSystem::primary();
+    let db = Trainer::new(system).generate_database(30, 3);
+    for s in db.samples().iter().take(5) {
+        let hit = db.nearest(&s.b, &s.i).expect("non-empty");
+        assert_eq!(hit.b, s.b, "exact query returns the stored row");
+    }
+}
+
+#[test]
+fn decision_tree_and_deep_agree_on_extreme_combinations() {
+    // On strongly-typed combinations, the analytical tree and a trained
+    // network should converge to the same accelerator.
+    let tree = HeteroMap::with_decision_tree();
+    let deep = HeteroMap::train_deep_with(
+        MultiAcceleratorSystem::primary(),
+        250,
+        Objective::Performance,
+        TrainConfig { hidden: 64, epochs: 80, seed: 9, ..TrainConfig::default() },
+    );
+    for (w, d) in [
+        (Workload::Bfs, Dataset::KronLarge),    // massively parallel -> GPU
+        (Workload::TriangleCount, Dataset::MouseRetina), // cache-resident -> MC
+    ] {
+        let a = tree.schedule(w, d).accelerator();
+        let b = deep.schedule(w, d).accelerator();
+        assert_eq!(a, b, "{w}/{d}: tree {a} vs deep {b}");
+    }
+}

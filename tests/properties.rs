@@ -1,0 +1,161 @@
+//! Cross-crate property-based tests (proptest) on the library's invariants.
+
+use heteromap_accel::cost::{CostModel, WorkloadContext};
+use heteromap_accel::AcceleratorSpec;
+use heteromap_graph::datasets::LiteratureMaxima;
+use heteromap_graph::gen::{GraphGenerator, UniformRandom};
+use heteromap_graph::stream::GraphStream;
+use heteromap_graph::GraphStats;
+use heteromap_model::workload::IterationModel;
+use heteromap_model::{BVector, Grid, IVector, MConfig, Workload, M_DIM};
+use proptest::prelude::*;
+
+fn arbitrary_b() -> impl Strategy<Value = BVector> {
+    // A random phase split plus independent B6-13 values.
+    (
+        0..=10u32,
+        prop::array::uniform8(0.0f64..=1.0),
+    )
+        .prop_map(|(split, rest)| {
+            let b1 = split as f64 / 10.0;
+            let b5 = 1.0 - b1;
+            let mut v = [0.0; 13];
+            v[0] = b1;
+            v[4] = b5;
+            v[5..].copy_from_slice(&rest);
+            BVector::new_unchecked(v)
+        })
+}
+
+fn arbitrary_stats() -> impl Strategy<Value = GraphStats> {
+    (
+        1_000u64..=100_000_000,
+        1u64..=64,
+        1u64..=2_000,
+    )
+        .prop_map(|(v, deg, dia)| {
+            GraphStats::from_known(v, v.saturating_mul(deg), deg * 10, dia)
+        })
+}
+
+fn arbitrary_mconfig() -> impl Strategy<Value = MConfig> {
+    prop::array::uniform20(0.0f64..=1.0).prop_map(MConfig::from_array)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cost_model_outputs_are_finite_positive(
+        b in arbitrary_b(),
+        stats in arbitrary_stats(),
+        cfg in arbitrary_mconfig(),
+    ) {
+        let ctx = WorkloadContext::synthetic(
+            b, stats, IterationModel::Fixed(5), 1.0,
+        );
+        let model = CostModel::paper();
+        for spec in [
+            AcceleratorSpec::gtx_750ti(),
+            AcceleratorSpec::xeon_phi_7120p(),
+            AcceleratorSpec::gtx_970(),
+            AcceleratorSpec::cpu_40core(),
+        ] {
+            let r = model.evaluate(&spec, &ctx, &cfg);
+            prop_assert!(r.time_ms.is_finite() && r.time_ms > 0.0);
+            prop_assert!(r.energy_j.is_finite() && r.energy_j > 0.0);
+            prop_assert!((0.0..=1.0).contains(&r.utilization));
+        }
+    }
+
+    #[test]
+    fn cost_is_monotone_in_edge_count(
+        b in arbitrary_b(),
+        cfg in arbitrary_mconfig(),
+        v in 10_000u64..1_000_000,
+        deg in 2u64..32,
+    ) {
+        let model = CostModel::paper();
+        let spec = AcceleratorSpec::gtx_750ti();
+        let small = WorkloadContext::synthetic(
+            b,
+            GraphStats::from_known(v, v * deg, deg * 8, 10),
+            IterationModel::Fixed(5),
+            1.0,
+        );
+        let large = WorkloadContext::synthetic(
+            b,
+            GraphStats::from_known(v, v * deg * 8, deg * 8, 10),
+            IterationModel::Fixed(5),
+            1.0,
+        );
+        prop_assert!(
+            model.evaluate(&spec, &large, &cfg).time_ms
+                >= model.evaluate(&spec, &small, &cfg).time_ms * 0.9
+        );
+    }
+
+    #[test]
+    fn m_config_array_round_trip_preserves_quantized(
+        cfg in arbitrary_mconfig(),
+    ) {
+        let q = cfg.quantized(Grid::PAPER);
+        let rt = MConfig::from_array(q.as_array());
+        // Round trip after quantization is exact except the schedule slot,
+        // which re-snaps to quarters.
+        let a = q.as_array();
+        let b = rt.as_array();
+        for (idx, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+            if idx == 10 { continue; }
+            prop_assert!((x - y).abs() < 1e-12);
+        }
+        prop_assert_eq!(rt.schedule, q.schedule);
+    }
+
+    #[test]
+    fn matching_choices_is_symmetric_and_bounded(
+        a in arbitrary_mconfig(),
+        b in arbitrary_mconfig(),
+    ) {
+        let ab = a.matching_choices(&b, Grid::PAPER);
+        let ba = b.matching_choices(&a, Grid::PAPER);
+        prop_assert_eq!(ab, ba);
+        prop_assert!(ab <= M_DIM);
+    }
+
+    #[test]
+    fn ivector_values_are_normalized_and_grid_aligned(
+        stats in arbitrary_stats(),
+    ) {
+        let i = IVector::from_stats(&stats, &LiteratureMaxima::paper(), Grid::PAPER);
+        for v in i.as_array() {
+            prop_assert!((0.0..=1.0).contains(&v));
+            prop_assert!((v * 10.0 - (v * 10.0).round()).abs() < 1e-9);
+        }
+        prop_assert!((0.0..=1.0).contains(&i.avg_deg()));
+        prop_assert!((0.0..=1.0).contains(&i.avg_deg_dia()));
+    }
+
+    #[test]
+    fn stream_chunks_partition_vertices(
+        n in 50usize..400,
+        edges in 100usize..2_000,
+        budget_kb in 1usize..64,
+        seed in 0u64..50,
+    ) {
+        let g = UniformRandom::new(n, edges).generate(seed);
+        let stream = GraphStream::with_byte_budget(&g, budget_kb * 1024);
+        let total: usize = stream.iter().map(|c| c.graph.vertex_count()).sum();
+        prop_assert_eq!(total, n);
+    }
+
+    #[test]
+    fn workload_contexts_iterate_at_least_once(
+        stats in arbitrary_stats(),
+    ) {
+        for w in Workload::all() {
+            let ctx = WorkloadContext::for_workload(w, stats);
+            prop_assert!(ctx.iterations() >= 1.0);
+        }
+    }
+}

@@ -56,8 +56,8 @@ fn cell_weight(w: Workload, d: Dataset) -> f64 {
     match (w, d) {
         (SsspDelta, UsaCal) | (SsspDelta, Cage14) => 3.0, // Fig. 1
         (SsspBf, Cage14) => 3.0,
-        (Dfs, MouseRetina) => 3.0,                        // named exception
-        (PageRank, UsaCal) => 3.0,                        // named exception
+        (Dfs, MouseRetina) => 3.0, // named exception
+        (PageRank, UsaCal) => 3.0, // named exception
         _ => 1.0,
     }
 }
@@ -154,12 +154,27 @@ type Field = (&'static str, fn(&mut Constants) -> &mut f64, f64, f64);
 
 fn fields() -> Vec<Field> {
     vec![
-        ("edge_revisit_per_iter", |c| &mut c.edge_revisit_per_iter, 0.01, 0.5),
+        (
+            "edge_revisit_per_iter",
+            |c| &mut c.edge_revisit_per_iter,
+            0.01,
+            0.5,
+        ),
         ("vertex_op_cost", |c| &mut c.vertex_op_cost, 0.1, 2.0),
         ("gpu_launch_us", |c| &mut c.gpu_launch_us, 0.5, 40.0),
         ("mc_barrier_us", |c| &mut c.mc_barrier_us, 0.2, 40.0),
-        ("gpu_divergence_pushpop", |c| &mut c.gpu_divergence_pushpop, 0.0, 0.8),
-        ("gpu_divergence_reduction", |c| &mut c.gpu_divergence_reduction, 0.0, 6.0),
+        (
+            "gpu_divergence_pushpop",
+            |c| &mut c.gpu_divergence_pushpop,
+            0.0,
+            0.8,
+        ),
+        (
+            "gpu_divergence_reduction",
+            |c| &mut c.gpu_divergence_reduction,
+            0.0,
+            6.0,
+        ),
         ("gpu_indirect", |c| &mut c.gpu_indirect, 0.2, 6.0),
         ("gpu_rw_shared", |c| &mut c.gpu_rw_shared, 0.1, 4.0),
         ("mc_indirect", |c| &mut c.mc_indirect, 0.05, 2.0),
@@ -167,19 +182,54 @@ fn fields() -> Vec<Field> {
         ("gpu_atomic_cycles", |c| &mut c.gpu_atomic_cycles, 6.0, 80.0),
         ("atomic_fraction", |c| &mut c.atomic_fraction, 0.05, 0.6),
         ("dp_share", |c| &mut c.dp_share, 0.05, 0.45),
-        ("gpu_atomic_contention_threads", |c| &mut c.gpu_atomic_contention_threads, 32.0, 4096.0),
+        (
+            "gpu_atomic_contention_threads",
+            |c| &mut c.gpu_atomic_contention_threads,
+            32.0,
+            4096.0,
+        ),
         ("random_miss_base", |c| &mut c.random_miss_base, 0.02, 0.9),
         ("gpu_stress", |c| &mut c.gpu_stress, 0.0, 2.0),
-        ("gpu_uncoalesce_divergent", |c| &mut c.gpu_uncoalesce_divergent, 0.0, 3.0),
-        ("gpu_uncoalesce_indirect", |c| &mut c.gpu_uncoalesce_indirect, 0.0, 4.0),
-        ("gpu_uncoalesce_skew", |c| &mut c.gpu_uncoalesce_skew, 0.3, 3.0),
+        (
+            "gpu_uncoalesce_divergent",
+            |c| &mut c.gpu_uncoalesce_divergent,
+            0.0,
+            3.0,
+        ),
+        (
+            "gpu_uncoalesce_indirect",
+            |c| &mut c.gpu_uncoalesce_indirect,
+            0.0,
+            4.0,
+        ),
+        (
+            "gpu_uncoalesce_skew",
+            |c| &mut c.gpu_uncoalesce_skew,
+            0.3,
+            3.0,
+        ),
         ("chunk_overhead_ms", |c| &mut c.chunk_overhead_ms, 0.01, 5.0),
         ("chunk_cut_penalty", |c| &mut c.chunk_cut_penalty, 0.0, 0.5),
         ("line_share", |c| &mut c.line_share, 2.0, 16.0),
         ("smt_yield", |c| &mut c.smt_yield, 0.05, 1.0),
-        ("thread_scaling_gamma", |c| &mut c.thread_scaling_gamma, 0.3, 1.0),
-        ("gpu_occupancy_threads", |c| &mut c.gpu_occupancy_threads, 1.0, 16.0),
-        ("locality_need_indirect", |c| &mut c.locality_need_indirect, 0.5, 6.0),
+        (
+            "thread_scaling_gamma",
+            |c| &mut c.thread_scaling_gamma,
+            0.3,
+            1.0,
+        ),
+        (
+            "gpu_occupancy_threads",
+            |c| &mut c.gpu_occupancy_threads,
+            1.0,
+            16.0,
+        ),
+        (
+            "locality_need_indirect",
+            |c| &mut c.locality_need_indirect,
+            0.5,
+            6.0,
+        ),
         ("mc_ipc_scale", |c| &mut c.mc_ipc_scale, 0.4, 2.5),
         ("mc_mlp_scale", |c| &mut c.mc_mlp_scale, 0.25, 4.0),
         ("simd_boost_weight", |c| &mut c.simd_boost_weight, 0.0, 20.0),
@@ -278,7 +328,10 @@ fn print_matrix(e: &Evaluation) {
         }
         println!();
     }
-    println!("\nwinner accuracy vs paper (weighted): {:.0}/{:.0}", e.hits, e.total);
+    println!(
+        "\nwinner accuracy vs paper (weighted): {:.0}/{:.0}",
+        e.hits, e.total
+    );
     println!(
         "oracle speedup over GPU-only: {:.1}% (paper ~31%), over MC-only: {:.1}% (paper ~75%)",
         e.gpu_speedup_pct, e.mc_speedup_pct

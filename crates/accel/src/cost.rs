@@ -318,8 +318,8 @@ impl CostModel {
         let avg_deg = e / v;
         let iterations = ctx.iterations();
         // Degree skew in [0, 1]: how far the max degree sits above the mean.
-        let skew = (((ctx.stats.max_degree as f64 + 1.0) / (avg_deg + 1.0)).log2() / 14.0)
-            .clamp(0.0, 1.0);
+        let skew =
+            (((ctx.stats.max_degree as f64 + 1.0) / (avg_deg + 1.0)).log2() / 14.0).clamp(0.0, 1.0);
 
         // ----- total work ---------------------------------------------------
         let edge_revisit = 1.0 + k.edge_revisit_per_iter * (iterations - 1.0);
@@ -357,8 +357,7 @@ impl CostModel {
             // Sub-linear core scaling: a fraction f of the cores delivers
             // f^gamma of peak throughput and memory-level parallelism.
             let c_raw = limits.cores(cfg) as f64;
-            let c = spec.cores as f64
-                * (c_raw / spec.cores as f64).powf(k.thread_scaling_gamma);
+            let c = spec.cores as f64 * (c_raw / spec.cores as f64).powf(k.thread_scaling_gamma);
             let tpc = limits.threads_per_core(cfg) as f64;
             let t = c_raw * tpc;
             // SMT threads yield diminishing returns.
@@ -372,7 +371,11 @@ impl CostModel {
                     * cfg.simd
                     * k.simd_boost_weight;
             let raw = c * smt * simd_boost;
-            (raw.min(par_limit), t, (t / spec.hw_threads() as f64).min(1.0))
+            (
+                raw.min(par_limit),
+                t,
+                (t / spec.hw_threads() as f64).min(1.0),
+            )
         };
         let lanes = lanes.max(1.0);
 
@@ -405,8 +408,7 @@ impl CostModel {
             spec.ipc * k.mc_ipc_scale
         };
         let ops_per_sec = lanes * spec.freq_ghz * ipc * 1e9;
-        let compute_s =
-            compute_ops * fp_penalty * divergence * addressing * fit / ops_per_sec;
+        let compute_s = compute_ops * fp_penalty * divergence * addressing * fit / ops_per_sec;
 
         // ----- memory time ----------------------------------------------------
         let footprint = ctx.stats.footprint_bytes() as f64;
@@ -446,20 +448,19 @@ impl CostModel {
         } else {
             // Two paths: streamed misses ride the prefetchers (bandwidth),
             // random misses stall the in-order/OoO cores (latency × MLP).
-            let random_frac = (k.random_miss_base + (1.0 - k.random_miss_base) * b8)
-                .clamp(0.0, 1.0);
+            let random_frac =
+                (k.random_miss_base + (1.0 - k.random_miss_base) * b8).clamp(0.0, 1.0);
             let traffic = miss_ops * spec.bytes_per_miss_op * rw_penalty;
             let bw_s = traffic / (spec.mem_bw_gbs * spec.eff_bw_frac * 1e9);
             let active_cores = spec.cores as f64
-                * (limits.cores(cfg) as f64 / spec.cores as f64)
-                    .powf(k.thread_scaling_gamma);
+                * (limits.cores(cfg) as f64 / spec.cores as f64).powf(k.thread_scaling_gamma);
             let mlp = spec.mlp_per_core
                 * k.mc_mlp_scale
                 * (1.0 + (limits.threads_per_core(cfg) as f64 - 1.0) * 0.5);
             let random_lines = miss_ops * random_frac;
             let streamed_lines = miss_ops * (1.0 - random_frac) / k.line_share;
-            let tlb = 1.0
-                + k.mc_large_graph * (footprint / (cache_bytes * 32.0)).log2().max(0.0) / 8.0;
+            let tlb =
+                1.0 + k.mc_large_graph * (footprint / (cache_bytes * 32.0)).log2().max(0.0) / 8.0;
             let stall_s = (random_lines + streamed_lines) * spec.mem_latency_ns * tlb * 1e-9
                 / (active_cores * mlp).max(1.0);
             bw_s.max(stall_s)
@@ -658,12 +659,7 @@ mod tests {
     use super::*;
     use heteromap_graph::datasets::Dataset;
 
-    fn sim(
-        spec: &AcceleratorSpec,
-        w: Workload,
-        d: Dataset,
-        cfg: &MConfig,
-    ) -> SimReport {
+    fn sim(spec: &AcceleratorSpec, w: Workload, d: Dataset, cfg: &MConfig) -> SimReport {
         CostModel::paper().evaluate(spec, &WorkloadContext::for_workload(w, d.stats()), cfg)
     }
 
@@ -708,7 +704,12 @@ mod tests {
         // the multicore for SSSP-Delta.
         let gpu = AcceleratorSpec::gtx_750ti();
         let phi = AcceleratorSpec::xeon_phi_7120p();
-        let g = sim(&gpu, Workload::SsspDelta, Dataset::UsaCal, &MConfig::gpu_default());
+        let g = sim(
+            &gpu,
+            Workload::SsspDelta,
+            Dataset::UsaCal,
+            &MConfig::gpu_default(),
+        );
         let m = sim(
             &phi,
             Workload::SsspDelta,
@@ -728,7 +729,12 @@ mod tests {
         // Fig. 1's other half: CAGE-14 maps optimally onto the GPU.
         let gpu = AcceleratorSpec::gtx_750ti();
         let phi = AcceleratorSpec::xeon_phi_7120p();
-        let g = sim(&gpu, Workload::SsspBf, Dataset::Cage14, &MConfig::gpu_default());
+        let g = sim(
+            &gpu,
+            Workload::SsspBf,
+            Dataset::Cage14,
+            &MConfig::gpu_default(),
+        );
         let m = sim(
             &phi,
             Workload::SsspBf,
@@ -759,7 +765,12 @@ mod tests {
         // PageRank needs FP; the Phi's DP capability dwarfs the GTX-750Ti's.
         let gpu = AcceleratorSpec::gtx_750ti();
         let phi = AcceleratorSpec::xeon_phi_7120p();
-        let g = sim(&gpu, Workload::PageRank, Dataset::LiveJournal, &MConfig::gpu_default());
+        let g = sim(
+            &gpu,
+            Workload::PageRank,
+            Dataset::LiveJournal,
+            &MConfig::gpu_default(),
+        );
         let m = sim(
             &phi,
             Workload::PageRank,
@@ -772,8 +783,18 @@ mod tests {
     #[test]
     fn evaluation_is_deterministic() {
         let gpu = AcceleratorSpec::gtx_750ti();
-        let a = sim(&gpu, Workload::Bfs, Dataset::Facebook, &MConfig::gpu_default());
-        let b = sim(&gpu, Workload::Bfs, Dataset::Facebook, &MConfig::gpu_default());
+        let a = sim(
+            &gpu,
+            Workload::Bfs,
+            Dataset::Facebook,
+            &MConfig::gpu_default(),
+        );
+        let b = sim(
+            &gpu,
+            Workload::Bfs,
+            Dataset::Facebook,
+            &MConfig::gpu_default(),
+        );
         assert_eq!(a, b);
     }
 
@@ -824,8 +845,18 @@ mod tests {
         // more energy" — with comparable times, Phi energy must be higher.
         let gpu = AcceleratorSpec::gtx_750ti();
         let phi = AcceleratorSpec::xeon_phi_7120p();
-        let g = sim(&gpu, Workload::Bfs, Dataset::Facebook, &MConfig::gpu_default());
-        let m = sim(&phi, Workload::Bfs, Dataset::Facebook, &MConfig::multicore_default());
+        let g = sim(
+            &gpu,
+            Workload::Bfs,
+            Dataset::Facebook,
+            &MConfig::gpu_default(),
+        );
+        let m = sim(
+            &phi,
+            Workload::Bfs,
+            Dataset::Facebook,
+            &MConfig::multicore_default(),
+        );
         let g_power = g.energy_j / g.time_ms;
         let m_power = m.energy_j / m.time_ms;
         assert!(m_power > g_power);

@@ -2,6 +2,7 @@
 //! discrete memories, driven by a shared cost model.
 
 use crate::cost::{CostModel, SimReport, WorkloadContext};
+use crate::fault::{DeployError, FaultPlan, FaultState};
 use crate::spec::AcceleratorSpec;
 use heteromap_model::{Accelerator, MConfig};
 
@@ -32,6 +33,7 @@ pub struct MultiAcceleratorSystem {
     gpu_mem_gb: f64,
     multicore_mem_gb: f64,
     model: CostModel,
+    faults: FaultPlan,
 }
 
 impl MultiAcceleratorSystem {
@@ -60,6 +62,7 @@ impl MultiAcceleratorSystem {
             gpu_mem_gb: pinned,
             multicore_mem_gb: pinned,
             model: CostModel::paper(),
+            faults: FaultPlan::healthy(),
         }
     }
 
@@ -93,6 +96,19 @@ impl MultiAcceleratorSystem {
     pub fn with_model(mut self, model: CostModel) -> Self {
         self.model = model;
         self
+    }
+
+    /// Installs a fault-injection plan (see [`crate::fault`]). The default is
+    /// [`FaultPlan::healthy`], under which [`MultiAcceleratorSystem::try_deploy`]
+    /// never fails and matches [`MultiAcceleratorSystem::deploy`] bit for bit.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// The active fault-injection plan.
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
     }
 
     /// The GPU spec.
@@ -134,6 +150,89 @@ impl MultiAcceleratorSystem {
         self.model
             .evaluate_with_memory(spec, ctx, cfg, self.memory_gb(cfg.accelerator))
     }
+
+    /// Fallible deployment under the installed [`FaultPlan`] — attempt 0.
+    ///
+    /// With the default healthy plan this is infallible and returns exactly
+    /// what [`MultiAcceleratorSystem::deploy`] returns. See
+    /// [`MultiAcceleratorSystem::try_deploy_attempt`] for the fault
+    /// semantics.
+    pub fn try_deploy(
+        &self,
+        ctx: &WorkloadContext,
+        cfg: &MConfig,
+    ) -> Result<SimReport, DeployError> {
+        self.try_deploy_attempt(ctx, cfg, 0)
+    }
+
+    /// Fallible deployment of attempt number `attempt` (zero-based) under
+    /// the installed [`FaultPlan`].
+    ///
+    /// * [`FaultState::Down`] — always [`DeployError::AcceleratorDown`];
+    /// * working set over capacity with streaming disabled —
+    ///   [`DeployError::OutOfMemory`];
+    /// * [`FaultState::Transient`] — the attempt fails with the plan's
+    ///   probability, drawn deterministically from `(seed, accelerator,
+    ///   context, config, attempt)`; the error carries the simulated time
+    ///   wasted before the fault struck, so retry policies can charge it.
+    ///   Distinct `attempt` values redraw, so retries can succeed;
+    /// * [`FaultState::Degraded`] — the deploy succeeds but runs on the
+    ///   surviving core fraction (compute throughput scales down).
+    pub fn try_deploy_attempt(
+        &self,
+        ctx: &WorkloadContext,
+        cfg: &MConfig,
+        attempt: u32,
+    ) -> Result<SimReport, DeployError> {
+        let accelerator = cfg.accelerator;
+        let state = self.faults.state_for(accelerator);
+        if state == FaultState::Down {
+            return Err(DeployError::AcceleratorDown { accelerator });
+        }
+        let mem_gb = self.memory_gb(accelerator);
+        if !self.faults.streaming_enabled {
+            let footprint_bytes = ctx.stats.footprint_bytes();
+            let capacity_bytes = (mem_gb * 1e9) as u64;
+            if footprint_bytes > capacity_bytes {
+                return Err(DeployError::OutOfMemory {
+                    accelerator,
+                    footprint_bytes,
+                    capacity_bytes,
+                });
+            }
+        }
+        let report = match state {
+            FaultState::Degraded { .. } => {
+                let spec = degraded_spec(self.spec_for(accelerator), state.surviving_fraction());
+                self.model.evaluate_with_memory(&spec, ctx, cfg, mem_gb)
+            }
+            _ => self
+                .model
+                .evaluate_with_memory(self.spec_for(accelerator), ctx, cfg, mem_gb),
+        };
+        if let Some(frac) = self
+            .faults
+            .transient_failure_at(accelerator, ctx, cfg, attempt)
+        {
+            return Err(DeployError::TransientFailure {
+                accelerator,
+                attempt,
+                failed_after_ms: frac * report.time_ms,
+            });
+        }
+        Ok(report)
+    }
+}
+
+/// The spec of an accelerator running on a surviving fraction of its cores:
+/// compute resources scale down, the memory system stays intact.
+fn degraded_spec(full: &AcceleratorSpec, surviving_fraction: f64) -> AcceleratorSpec {
+    let f = surviving_fraction.clamp(1e-3, 1.0);
+    let mut spec = full.clone();
+    spec.cores = ((full.cores as f64 * f).round() as u32).max(1);
+    spec.sp_tflops = full.sp_tflops * f;
+    spec.dp_tflops = (full.dp_tflops * f).max(1e-3);
+    spec
 }
 
 #[cfg(test)]
@@ -172,6 +271,101 @@ mod tests {
         let _ = MultiAcceleratorSystem::new(
             AcceleratorSpec::xeon_phi_7120p(),
             AcceleratorSpec::gtx_750ti(),
+        );
+    }
+
+    #[test]
+    fn try_deploy_healthy_matches_deploy_bit_for_bit() {
+        let sys = MultiAcceleratorSystem::primary();
+        for w in Workload::all() {
+            let ctx = WorkloadContext::for_workload(w, Dataset::LiveJournal.stats());
+            for cfg in [MConfig::gpu_default(), MConfig::multicore_default()] {
+                let infallible = sys.deploy(&ctx, &cfg);
+                let fallible = sys.try_deploy(&ctx, &cfg).expect("healthy never fails");
+                assert_eq!(infallible, fallible, "{w}");
+            }
+        }
+    }
+
+    #[test]
+    fn try_deploy_down_accelerator_fails() {
+        let sys = MultiAcceleratorSystem::primary().with_faults(FaultPlan::gpu_down());
+        let ctx = WorkloadContext::for_workload(Workload::Bfs, Dataset::Facebook.stats());
+        let err = sys
+            .try_deploy(&ctx, &MConfig::gpu_default())
+            .expect_err("GPU is down");
+        assert_eq!(err.accelerator(), Accelerator::Gpu);
+        assert!(!err.is_retryable());
+        // The multicore still deploys.
+        assert!(sys.try_deploy(&ctx, &MConfig::multicore_default()).is_ok());
+    }
+
+    #[test]
+    fn try_deploy_oom_without_streaming() {
+        let sys =
+            MultiAcceleratorSystem::primary().with_faults(FaultPlan::healthy().without_streaming());
+        // Friendster far exceeds the pinned 2 GB.
+        let ctx = WorkloadContext::for_workload(Workload::PageRank, Dataset::Friendster.stats());
+        let err = sys
+            .try_deploy(&ctx, &MConfig::gpu_default())
+            .expect_err("oversize working set must OOM");
+        match err {
+            DeployError::OutOfMemory {
+                footprint_bytes,
+                capacity_bytes,
+                ..
+            } => assert!(footprint_bytes > capacity_bytes),
+            other => panic!("expected OOM, got {other}"),
+        }
+        // Facebook fits fine.
+        let small = WorkloadContext::for_workload(Workload::PageRank, Dataset::Facebook.stats());
+        assert!(sys.try_deploy(&small, &MConfig::gpu_default()).is_ok());
+    }
+
+    #[test]
+    fn transient_failure_charges_partial_time_and_retries_can_succeed() {
+        let sys = MultiAcceleratorSystem::primary().with_faults(FaultPlan::transient(0.5, 7));
+        let ctx = WorkloadContext::for_workload(Workload::Bfs, Dataset::LiveJournal.stats());
+        let cfg = MConfig::gpu_default();
+        let clean_ms = MultiAcceleratorSystem::primary().deploy(&ctx, &cfg).time_ms;
+        let mut succeeded = false;
+        for attempt in 0..32 {
+            match sys.try_deploy_attempt(&ctx, &cfg, attempt) {
+                Ok(report) => {
+                    assert_eq!(report.time_ms, clean_ms, "success matches clean run");
+                    succeeded = true;
+                    break;
+                }
+                Err(DeployError::TransientFailure {
+                    failed_after_ms, ..
+                }) => {
+                    assert!(failed_after_ms > 0.0 && failed_after_ms < clean_ms);
+                }
+                Err(other) => panic!("unexpected error {other}"),
+            }
+        }
+        assert!(succeeded, "p=0.5 must succeed within 32 attempts");
+    }
+
+    #[test]
+    fn degraded_accelerator_is_slower_than_healthy() {
+        let ctx = WorkloadContext::for_workload(Workload::PageRank, Dataset::LiveJournal.stats());
+        let cfg = MConfig::multicore_default();
+        let healthy = MultiAcceleratorSystem::primary().deploy(&ctx, &cfg);
+        let degraded = MultiAcceleratorSystem::primary()
+            .with_faults(FaultPlan::healthy().with_state(
+                Accelerator::Multicore,
+                FaultState::Degraded {
+                    surviving_core_fraction: 0.25,
+                },
+            ))
+            .try_deploy(&ctx, &cfg)
+            .expect("degraded deploys succeed");
+        assert!(
+            degraded.time_ms > healthy.time_ms,
+            "quarter of the cores must be slower: {} vs {}",
+            degraded.time_ms,
+            healthy.time_ms
         );
     }
 

@@ -2,7 +2,7 @@
 //! input pipeline of Table III).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use heteromap_graph::gen::{Grid, GraphGenerator, Kronecker, PowerLaw, RMat, UniformRandom};
+use heteromap_graph::gen::{GraphGenerator, Grid, Kronecker, PowerLaw, RMat, UniformRandom};
 
 fn bench_generators(c: &mut Criterion) {
     let mut group = c.benchmark_group("generators");

@@ -21,8 +21,20 @@ fn main() {
         .collect();
 
     println!("Ablation: autotuner budget vs optimality gap (81 combinations)\n");
-    let mut t = TextTable::new(["coarse stride", "refine budget", "geomean gap(%)", "evals/combo"]);
-    for (stride, budget) in [(31usize, 0usize), (31, 20), (7, 0), (7, 40), (3, 80), (1, 200)] {
+    let mut t = TextTable::new([
+        "coarse stride",
+        "refine budget",
+        "geomean gap(%)",
+        "evals/combo",
+    ]);
+    for (stride, budget) in [
+        (31usize, 0usize),
+        (31, 20),
+        (7, 0),
+        (7, 40),
+        (3, 80),
+        (1, 200),
+    ] {
         let tuner = Autotuner::exhaustive()
             .with_coarse_stride(stride)
             .with_refine_budget(budget);

@@ -4,13 +4,18 @@
 
 use heteromap_accel::system::MultiAcceleratorSystem;
 use heteromap_bench::TextTable;
-use heteromap_predict::{DecisionTree, Evaluator, Objective};
 use heteromap_model::Grid;
+use heteromap_predict::{DecisionTree, Evaluator, Objective};
 
 fn main() {
     let evaluator = Evaluator::new(MultiAcceleratorSystem::primary(), Objective::Performance);
     println!("Ablation: discretization grid (paper default: 10 steps = 0.1)\n");
-    let mut t = TextTable::new(["grid steps", "SpeedUp vs GPU(%)", "Accuracy(%)", "Gap vs ideal(%)"]);
+    let mut t = TextTable::new([
+        "grid steps",
+        "SpeedUp vs GPU(%)",
+        "Accuracy(%)",
+        "Gap vs ideal(%)",
+    ]);
     for steps in [2u32, 5, 10, 20, 50, 100] {
         let mut tree = DecisionTree::paper();
         tree.grid = Grid::new(steps);

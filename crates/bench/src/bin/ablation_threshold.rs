@@ -9,7 +9,12 @@ use heteromap_predict::{DecisionTree, Evaluator, Objective};
 fn main() {
     let evaluator = Evaluator::new(MultiAcceleratorSystem::primary(), Objective::Performance);
     println!("Ablation: decision-tree threshold sweep (paper default 0.5)\n");
-    let mut t = TextTable::new(["threshold", "SpeedUp vs GPU(%)", "Accuracy(%)", "Gap vs ideal(%)"]);
+    let mut t = TextTable::new([
+        "threshold",
+        "SpeedUp vs GPU(%)",
+        "Accuracy(%)",
+        "Gap vs ideal(%)",
+    ]);
     for tenths in 2..=8 {
         let threshold = tenths as f64 / 10.0;
         let r = evaluator.evaluate(&DecisionTree::with_threshold(threshold));

@@ -1,0 +1,166 @@
+//! **Fault-rate sweep**: completion time under increasingly flaky
+//! accelerators, comparing three deployment strategies across all 81
+//! benchmark-input combinations:
+//!
+//! * **HeteroMap + failover** — the full resilient scheduler: per-chunk
+//!   prediction, transient retries with backoff, failover to the surviving
+//!   accelerator;
+//! * **GPU-only** — everything pinned to the GPU, retries but no failover
+//!   target (the GPU's exhaustion is final);
+//! * **Multicore-only** — the mirror image on the multicore.
+//!
+//! Both accelerators flake with the same per-attempt failure rate; the sweep
+//! also reports the GPU-dead extreme. Single-accelerator deployments that
+//! exhaust their retries never complete — their incompletions are counted
+//! and excluded from the geomean, which is how real dashboards report
+//! availability vs latency.
+
+use heteromap::resilient::RetryPolicy;
+use heteromap::HeteroMap;
+use heteromap_accel::cost::WorkloadContext;
+use heteromap_accel::{FaultPlan, MultiAcceleratorSystem};
+use heteromap_bench::{all_combos, geomean, TextTable};
+use heteromap_model::{Accelerator, MConfig};
+use heteromap_predict::DecisionTree;
+
+/// Outcome of one strategy at one fault rate: geomean time over completed
+/// combos, plus how many of the 81 never completed.
+struct SweepCell {
+    geomean_ms: f64,
+    incomplete: usize,
+    retry_ms: f64,
+}
+
+fn cell(times: Vec<f64>, retry_ms: f64) -> SweepCell {
+    let completed: Vec<f64> = times.iter().copied().filter(|t| t.is_finite()).collect();
+    SweepCell {
+        geomean_ms: if completed.is_empty() {
+            f64::NAN
+        } else {
+            geomean(&completed)
+        },
+        incomplete: times.len() - completed.len(),
+        retry_ms,
+    }
+}
+
+/// The resilient HeteroMap scheduler on a faulty pair.
+fn heteromap_failover(plan: FaultPlan, policy: RetryPolicy) -> SweepCell {
+    let system = MultiAcceleratorSystem::primary().with_faults(plan);
+    let hm = HeteroMap::new(system, Box::new(DecisionTree::paper())).with_retry_policy(policy);
+    let mut retry_ms = 0.0;
+    let times = all_combos()
+        .into_iter()
+        .map(|(w, d)| {
+            let p = hm.schedule(w, d);
+            retry_ms += p.attempts.retry_time_ms;
+            p.report.time_ms
+        })
+        .collect();
+    cell(times, retry_ms)
+}
+
+/// Everything pinned to one accelerator: retries, no failover target.
+fn single_accelerator(plan: FaultPlan, policy: RetryPolicy, accel: Accelerator) -> SweepCell {
+    let system = MultiAcceleratorSystem::primary().with_faults(plan);
+    let default_cfg = match accel {
+        Accelerator::Gpu => MConfig::gpu_default(),
+        Accelerator::Multicore => MConfig::multicore_default(),
+    };
+    let mut retry_ms = 0.0;
+    let times = all_combos()
+        .into_iter()
+        .map(|(w, d)| {
+            let ctx = WorkloadContext::for_workload(w, d.stats());
+            let mut charged = 0.0;
+            for attempt in 0..policy.max_attempts.max(1) {
+                match system.try_deploy_attempt(&ctx, &default_cfg, attempt) {
+                    Ok(report) => {
+                        retry_ms += charged;
+                        return report.time_ms + charged;
+                    }
+                    Err(e) => {
+                        if let heteromap_accel::DeployError::TransientFailure {
+                            failed_after_ms,
+                            ..
+                        } = e
+                        {
+                            charged += failed_after_ms;
+                            if attempt + 1 < policy.max_attempts {
+                                charged += policy.backoff_ms(attempt + 1);
+                            }
+                        } else {
+                            break; // Down/OOM: no failover target, give up.
+                        }
+                    }
+                }
+            }
+            retry_ms += charged;
+            f64::INFINITY
+        })
+        .collect();
+    cell(times, retry_ms)
+}
+
+fn fmt_cell(c: &SweepCell) -> String {
+    if c.geomean_ms.is_nan() {
+        format!("-- ({} inc)", c.incomplete)
+    } else if c.incomplete > 0 {
+        format!("{:.1} ({} inc)", c.geomean_ms, c.incomplete)
+    } else {
+        format!("{:.1}", c.geomean_ms)
+    }
+}
+
+fn main() {
+    println!("Fault sweep: geomean completion time over 81 combos (ms)");
+    println!("'N inc' = combinations that never completed (excluded from geomean)\n");
+    let policy = RetryPolicy::default();
+
+    let mut t = TextTable::new([
+        "fault scenario",
+        "HeteroMap+failover",
+        "GPU-only",
+        "Multicore-only",
+    ]);
+    let mut failover_retry_total = 0.0;
+    for &rate in &[0.0, 0.1, 0.2, 0.4, 0.6, 0.8] {
+        let plan = FaultPlan::transient(rate, 0xFA117);
+        let hm = heteromap_failover(plan, policy);
+        let gpu = single_accelerator(plan, policy, Accelerator::Gpu);
+        let mc = single_accelerator(plan, policy, Accelerator::Multicore);
+        failover_retry_total += hm.retry_ms;
+        t.row([
+            format!("transient p={rate:.1}"),
+            fmt_cell(&hm),
+            fmt_cell(&gpu),
+            fmt_cell(&mc),
+        ]);
+    }
+    // The hard-failure extremes.
+    for (label, plan) in [
+        ("GPU down", FaultPlan::gpu_down()),
+        ("multicore down", FaultPlan::multicore_down()),
+    ] {
+        let hm = heteromap_failover(plan, policy);
+        let gpu = single_accelerator(plan, policy, Accelerator::Gpu);
+        let mc = single_accelerator(plan, policy, Accelerator::Multicore);
+        t.row([
+            label.to_string(),
+            fmt_cell(&hm),
+            fmt_cell(&gpu),
+            fmt_cell(&mc),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "HeteroMap+failover charged {failover_retry_total:.2} ms of simulated \
+         retry/backoff time in total across the sweep."
+    );
+    println!(
+        "\nExpected shape: the failover scheduler completes all 81 combos at\n\
+         every fault rate (time creeping up with retry charges), while the\n\
+         single-accelerator baselines accumulate incompletions as rates rise\n\
+         and lose every combination once their accelerator dies."
+    );
+}

@@ -37,11 +37,7 @@ fn main() {
             if m < best.0 {
                 best = (m, "Xeon Phi");
             }
-            t.row([
-                format!("{l:.1}"),
-                format!("{g:.2}"),
-                format!("{m:.2}"),
-            ]);
+            t.row([format!("{l:.1}"), format!("{g:.2}"), format!("{m:.2}")]);
         }
         println!("{}", t.render());
         println!("best: {} at {:.2} ms\n", best.1, best.0);

@@ -17,7 +17,11 @@ fn main() {
         &LiteratureMaxima::paper(),
         Grid::PAPER,
     );
-    println!("input discretization: {i}  Avg.Deg={:.2}  Avg.Deg.Dia={:.2}\n", i.avg_deg(), i.avg_deg_dia());
+    println!(
+        "input discretization: {i}  Avg.Deg={:.2}  Avg.Deg.Dia={:.2}\n",
+        i.avg_deg(),
+        i.avg_deg_dia()
+    );
 
     for w in [Workload::SsspBf, Workload::SsspDelta] {
         let b = w.b_vector();

@@ -28,8 +28,8 @@ fn sweep(gpu: AcceleratorSpec, multicore: AcceleratorSpec, gpu_mems: &[f64], mc_
     for &gm in gpu_mems {
         let mut row = vec![format!("{gm:.0}GB")];
         for &mm in mc_mems {
-            let sys = MultiAcceleratorSystem::new(gpu.clone(), multicore.clone())
-                .with_memory(gm, mm);
+            let sys =
+                MultiAcceleratorSystem::new(gpu.clone(), multicore.clone()).with_memory(gm, mm);
             let times: Vec<f64> = all_combos()
                 .into_iter()
                 .map(|(w, d)| {

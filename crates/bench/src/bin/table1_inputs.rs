@@ -32,9 +32,7 @@ fn main() {
     println!("{}", t.render());
 
     println!("Scaled structural surrogates (host-executable, ~2K vertices):\n");
-    let mut t = TextTable::new([
-        "Surrogate", "#V", "#E", "Max.Deg", "Diameter", "Avg.Deg",
-    ]);
+    let mut t = TextTable::new(["Surrogate", "#V", "#E", "Max.Deg", "Diameter", "Avg.Deg"]);
     for d in Dataset::all() {
         let g = d.surrogate_graph(2_000, 7);
         let s = g.stats();

@@ -55,11 +55,7 @@ impl SchedulerComparison {
     }
 
     /// Runs the comparison with an already-built HeteroMap instance.
-    pub fn run_with(
-        system: &MultiAcceleratorSystem,
-        objective: Objective,
-        hm: &HeteroMap,
-    ) -> Self {
+    pub fn run_with(system: &MultiAcceleratorSystem, objective: Objective, hm: &HeteroMap) -> Self {
         let space = MSpace::new();
         let gpu_cfgs = space.enumerate_for(Accelerator::Gpu);
         let mc_cfgs = space.enumerate_for(Accelerator::Multicore);
@@ -83,9 +79,7 @@ impl SchedulerComparison {
                 };
                 let (gpu_only, gpu_util) = best_over(&gpu_cfgs);
                 let (multicore_only, mc_util) = best_over(&mc_cfgs);
-                let ideal = Autotuner::exhaustive()
-                    .tune(|c| cost(&ctx, c).0)
-                    .cost;
+                let ideal = Autotuner::exhaustive().tune(|c| cost(&ctx, c).0).cost;
                 let placement = hm.schedule(workload, dataset);
                 let heteromap = match objective {
                     Objective::Performance => placement.report.time_ms,
@@ -128,7 +122,10 @@ impl SchedulerComparison {
 
     /// Rows for one workload, in Table I dataset order.
     pub fn rows_for(&self, workload: Workload) -> Vec<&ComboRow> {
-        self.rows.iter().filter(|r| r.workload == workload).collect()
+        self.rows
+            .iter()
+            .filter(|r| r.workload == workload)
+            .collect()
     }
 }
 

@@ -1,11 +1,16 @@
 //! The HeteroMap framework (Fig. 8): discretize → predict → deploy.
 
 use crate::report::Placement;
+use crate::resilient::{
+    config_is_feasible, AttemptLog, AttemptOutcome, AttemptRecord, RetryPolicy, StaticDefault,
+};
 use heteromap_accel::cost::WorkloadContext;
+use heteromap_accel::fault::{DeployError, FaultState};
 use heteromap_accel::system::MultiAcceleratorSystem;
+use heteromap_accel::SimReport;
 use heteromap_graph::datasets::{Dataset, LiteratureMaxima};
 use heteromap_graph::GraphStats;
-use heteromap_model::{Grid, IVector, Workload};
+use heteromap_model::{Accelerator, BVector, Grid, IVector, MConfig, Workload};
 use heteromap_predict::nn::TrainConfig;
 use heteromap_predict::predictor::Objective;
 use heteromap_predict::{DecisionTree, NeuralPredictor, Predictor, Trainer};
@@ -36,6 +41,7 @@ pub struct HeteroMap {
     predictor: Box<dyn Predictor + Send + Sync>,
     maxima: LiteratureMaxima,
     grid: Grid,
+    retry: RetryPolicy,
 }
 
 impl std::fmt::Debug for HeteroMap {
@@ -52,7 +58,10 @@ impl HeteroMap {
     /// HeteroMap on the primary setup (GTX-750Ti + Xeon Phi) with the §IV
     /// decision-tree heuristic — no training required.
     pub fn with_decision_tree() -> Self {
-        HeteroMap::new(MultiAcceleratorSystem::primary(), Box::new(DecisionTree::paper()))
+        HeteroMap::new(
+            MultiAcceleratorSystem::primary(),
+            Box::new(DecisionTree::paper()),
+        )
     }
 
     /// HeteroMap on the primary setup with the paper's best learner
@@ -107,6 +116,7 @@ impl HeteroMap {
             predictor,
             maxima: LiteratureMaxima::paper(),
             grid: Grid::PAPER,
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -114,6 +124,18 @@ impl HeteroMap {
     pub fn with_maxima(mut self, maxima: LiteratureMaxima) -> Self {
         self.maxima = maxima;
         self
+    }
+
+    /// Replaces the retry/backoff policy used when the system carries a
+    /// fault plan (see [`crate::resilient`]).
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// The active retry policy.
+    pub fn retry_policy(&self) -> &RetryPolicy {
+        &self.retry
     }
 
     /// The underlying multi-accelerator system.
@@ -139,22 +161,216 @@ impl HeteroMap {
     }
 
     /// Schedules a fully custom workload context (synthetic benchmarks).
+    ///
+    /// On a fault-free system this is the paper's Fig. 8 flow and produces
+    /// the same report as the seed implementation. Under an installed
+    /// [`heteromap_accel::FaultPlan`] (or a finite per-attempt timeout) the
+    /// resilient path takes over: transient failures are retried per the
+    /// [`RetryPolicy`] with backoff charged to the completion time exactly
+    /// like predictor overhead (§V-A), and `Down`/OOM/timeout/exhausted
+    /// accelerators fail over to the survivor with the configuration
+    /// re-clamped for it. The returned [`Placement::attempts`] records every
+    /// attempt.
     pub fn schedule_context(&self, ctx: &WorkloadContext) -> Placement {
         // Step 1: discretize the input into I variables.
         let i = IVector::from_stats(&ctx.stats, &self.maxima, self.grid);
         // Step 2: predict M choices (timed — the overhead is charged to the
-        // completion time, §V-A).
+        // completion time, §V-A), falling down the predictor chain if the
+        // prediction is not deployable.
         let start = Instant::now();
-        let config = self.predictor.predict(&ctx.b, &i);
+        let (config, predictor_fallbacks) = self.predict_feasible(&ctx.b, &i);
         let overhead_ms = start.elapsed().as_secs_f64() * 1e3;
-        // Step 3: deploy on the selected accelerator.
-        let mut report = self.system.deploy(ctx, &config);
-        report.time_ms += overhead_ms;
-        Placement {
-            config,
-            report,
-            predictor_overhead_ms: overhead_ms,
+
+        if self.system.faults().is_all_healthy() && self.retry.attempt_timeout_ms.is_infinite() {
+            // Fast path — bit-identical to the infallible seed flow.
+            let mut report = self.system.deploy(ctx, &config);
+            report.time_ms += overhead_ms;
+            let mut attempts = AttemptLog::clean_success(config.accelerator);
+            attempts.predictor_fallbacks = predictor_fallbacks;
+            return Placement {
+                config,
+                report,
+                predictor_overhead_ms: overhead_ms,
+                attempts,
+            };
         }
+        self.schedule_resilient(ctx, config, overhead_ms, predictor_fallbacks)
+    }
+
+    /// Predictor fallback chain: the trained/installed predictor first, the
+    /// §IV decision tree if that prediction is undeployable (NaN/∞), and a
+    /// static default as the unconditional last resort. Returns the chosen
+    /// configuration and how many fallback steps were taken.
+    fn predict_feasible(&self, b: &BVector, i: &IVector) -> (MConfig, u32) {
+        let config = self.predictor.predict(b, i);
+        if config_is_feasible(&config) {
+            return (config, 0);
+        }
+        let config = DecisionTree::paper().predict(b, i);
+        if config_is_feasible(&config) {
+            return (config, 1);
+        }
+        (StaticDefault::default().predict(b, i), 2)
+    }
+
+    /// The resilient deploy loop: retry transients with backoff on the
+    /// selected accelerator, then fail over to the other one; all simulated
+    /// retry/backoff/timeout cost is charged to the final completion time.
+    fn schedule_resilient(
+        &self,
+        ctx: &WorkloadContext,
+        predicted: MConfig,
+        overhead_ms: f64,
+        predictor_fallbacks: u32,
+    ) -> Placement {
+        let mut log = AttemptLog {
+            predictor_fallbacks,
+            ..AttemptLog::default()
+        };
+        let mut charged_ms = 0.0;
+        let max_attempts = self.retry.max_attempts.max(1);
+        let order = [predicted.accelerator, predicted.accelerator.other()];
+        let mut last_config = predicted;
+
+        for (leg, &accelerator) in order.iter().enumerate() {
+            if leg > 0 {
+                log.failovers += 1;
+            }
+            let config = self.config_for_accelerator(&predicted, accelerator);
+            last_config = config;
+            let degraded = matches!(
+                self.system.faults().state_for(accelerator),
+                FaultState::Degraded { .. }
+            );
+            for attempt in 0..max_attempts {
+                match self.system.try_deploy_attempt(ctx, &config, attempt) {
+                    Ok(mut report) => {
+                        if report.time_ms > self.retry.attempt_timeout_ms {
+                            // The simulation is deterministic, so retrying
+                            // the same accelerator would reproduce the same
+                            // time: charge one timeout budget and fail over.
+                            charged_ms += self.retry.attempt_timeout_ms;
+                            log.records.push(AttemptRecord {
+                                accelerator,
+                                attempt,
+                                outcome: AttemptOutcome::Timeout {
+                                    would_take_ms: report.time_ms,
+                                },
+                                charged_ms: self.retry.attempt_timeout_ms,
+                            });
+                            break;
+                        }
+                        if degraded {
+                            log.degraded_deploys += 1;
+                        }
+                        log.records.push(AttemptRecord {
+                            accelerator,
+                            attempt,
+                            outcome: AttemptOutcome::Success,
+                            charged_ms: 0.0,
+                        });
+                        log.retry_time_ms = charged_ms;
+                        report.time_ms += overhead_ms + charged_ms;
+                        return Placement {
+                            config,
+                            report,
+                            predictor_overhead_ms: overhead_ms,
+                            attempts: log,
+                        };
+                    }
+                    Err(DeployError::TransientFailure {
+                        failed_after_ms, ..
+                    }) => {
+                        // Charge the wasted partial run, plus the backoff
+                        // wait if another attempt on this accelerator
+                        // follows.
+                        let backoff = if attempt + 1 < max_attempts {
+                            self.retry.backoff_ms(attempt + 1)
+                        } else {
+                            0.0
+                        };
+                        let charge = failed_after_ms + backoff;
+                        charged_ms += charge;
+                        log.records.push(AttemptRecord {
+                            accelerator,
+                            attempt,
+                            outcome: AttemptOutcome::TransientFailure { failed_after_ms },
+                            charged_ms: charge,
+                        });
+                    }
+                    Err(DeployError::AcceleratorDown { .. }) => {
+                        log.records.push(AttemptRecord {
+                            accelerator,
+                            attempt,
+                            outcome: AttemptOutcome::AcceleratorDown,
+                            charged_ms: 0.0,
+                        });
+                        break;
+                    }
+                    Err(DeployError::OutOfMemory {
+                        footprint_bytes,
+                        capacity_bytes,
+                        ..
+                    }) => {
+                        log.records.push(AttemptRecord {
+                            accelerator,
+                            attempt,
+                            outcome: AttemptOutcome::OutOfMemory {
+                                footprint_bytes,
+                                capacity_bytes,
+                            },
+                            charged_ms: 0.0,
+                        });
+                        break;
+                    }
+                    Err(_) => {
+                        // `DeployError` is non-exhaustive; treat unknown
+                        // failures as non-retryable on this accelerator.
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Every accelerator exhausted: report an unbounded completion time
+        // so callers can rank the outcome (and see exactly why in the log).
+        log.retry_time_ms = charged_ms;
+        Placement {
+            config: last_config,
+            report: SimReport {
+                time_ms: f64::INFINITY,
+                energy_j: f64::INFINITY,
+                utilization: 0.0,
+            },
+            predictor_overhead_ms: overhead_ms,
+            attempts: log,
+        }
+    }
+
+    /// Re-clamps a predicted configuration for a (possibly degraded) target
+    /// accelerator: `M1` is forced to the target, and on degraded silicon
+    /// the concurrency knobs `M2`/`M3` (and the GPU's `M19`) are scaled up
+    /// so the predicted *absolute* concurrency lands on the surviving cores
+    /// (the normalized values denormalize against the shrunken maxima).
+    fn config_for_accelerator(&self, predicted: &MConfig, accelerator: Accelerator) -> MConfig {
+        let mut config = *predicted;
+        config.accelerator = accelerator;
+        let frac = self
+            .system
+            .faults()
+            .state_for(accelerator)
+            .surviving_fraction();
+        if frac < 1.0 {
+            let wanted_cores = config.cores / frac;
+            config.cores = wanted_cores.min(1.0);
+            if wanted_cores > 1.0 {
+                // Core knob saturated: recover the remaining concurrency
+                // through threads per core.
+                config.threads_per_core = (config.threads_per_core * wanted_cores).min(1.0);
+            }
+            config.global_threads = (config.global_threads / frac).min(1.0);
+        }
+        config
     }
 }
 
@@ -195,7 +411,10 @@ mod tests {
         assert_eq!(hm.predictor_name(), "Deep.128");
         for w in Workload::all() {
             let p = hm.schedule(w, Dataset::LiveJournal);
-            assert!(p.report.time_ms.is_finite() && p.report.time_ms > 0.0, "{w}");
+            assert!(
+                p.report.time_ms.is_finite() && p.report.time_ms > 0.0,
+                "{w}"
+            );
         }
     }
 
@@ -203,5 +422,147 @@ mod tests {
     fn debug_is_nonempty() {
         let hm = HeteroMap::with_decision_tree();
         assert!(format!("{hm:?}").contains("Decision Tree"));
+    }
+
+    #[test]
+    fn healthy_schedule_logs_one_clean_attempt() {
+        let hm = HeteroMap::with_decision_tree();
+        let p = hm.schedule(Workload::Bfs, Dataset::Facebook);
+        assert_eq!(p.attempts.total_attempts(), 1);
+        assert!(p.attempts.succeeded());
+        assert_eq!(p.attempts.failovers, 0);
+        assert_eq!(p.attempts.retry_time_ms, 0.0);
+        assert!(p.completed());
+    }
+
+    #[test]
+    fn gpu_down_fails_over_to_multicore() {
+        use heteromap_accel::FaultPlan;
+        let system = MultiAcceleratorSystem::primary().with_faults(FaultPlan::gpu_down());
+        let hm = HeteroMap::new(system, Box::new(DecisionTree::paper()));
+        // SSSP-BF on USA-Cal is a GPU pick (Fig. 7) — it must fail over.
+        let p = hm.schedule(Workload::SsspBf, Dataset::UsaCal);
+        assert_eq!(p.accelerator(), Accelerator::Multicore);
+        assert!(p.completed());
+        assert_eq!(p.attempts.failovers, 1);
+        assert_eq!(p.attempts.total_attempts(), 2);
+        assert_eq!(
+            p.attempts.records[0].outcome,
+            AttemptOutcome::AcceleratorDown
+        );
+        assert_eq!(p.attempts.records[0].accelerator, Accelerator::Gpu);
+        assert_eq!(p.attempts.records[1].outcome, AttemptOutcome::Success);
+    }
+
+    #[test]
+    fn transient_faults_charge_retry_time() {
+        use heteromap_accel::FaultPlan;
+        // Scan seeds for one where the first GPU attempt fails and a retry
+        // succeeds, then check the retry cost lands in the completion time.
+        for seed in 0..64 {
+            let system =
+                MultiAcceleratorSystem::primary().with_faults(FaultPlan::transient(0.6, seed));
+            let hm = HeteroMap::new(system, Box::new(DecisionTree::paper()));
+            let p = hm.schedule(Workload::SsspBf, Dataset::UsaCal);
+            if p.attempts.total_attempts() > 1
+                && p.attempts.succeeded()
+                && p.attempts.failovers == 0
+            {
+                assert!(p.attempts.retry_time_ms > 0.0);
+                let clean =
+                    HeteroMap::with_decision_tree().schedule(Workload::SsspBf, Dataset::UsaCal);
+                assert!(
+                    p.report.time_ms
+                        >= clean.report.time_ms - clean.predictor_overhead_ms
+                            + p.attempts.retry_time_ms,
+                    "retry cost must be charged: {} vs clean {} + retry {}",
+                    p.report.time_ms,
+                    clean.report.time_ms,
+                    p.attempts.retry_time_ms
+                );
+                return;
+            }
+        }
+        panic!("no seed produced a retried-then-successful GPU deploy");
+    }
+
+    #[test]
+    fn both_down_yields_infinite_time_with_full_log() {
+        use heteromap_accel::{FaultPlan, FaultState};
+        let plan = FaultPlan::gpu_down().with_state(Accelerator::Multicore, FaultState::Down);
+        let system = MultiAcceleratorSystem::primary().with_faults(plan);
+        let hm = HeteroMap::new(system, Box::new(DecisionTree::paper()));
+        let p = hm.schedule(Workload::Bfs, Dataset::Facebook);
+        assert!(!p.completed());
+        assert!(p.report.time_ms.is_infinite());
+        assert_eq!(p.attempts.failovers, 1);
+        assert_eq!(p.attempts.total_attempts(), 2);
+        assert!(p
+            .attempts
+            .records
+            .iter()
+            .all(|r| r.outcome == AttemptOutcome::AcceleratorDown));
+    }
+
+    #[test]
+    fn degraded_multicore_is_counted_and_slower() {
+        use heteromap_accel::{FaultPlan, FaultState};
+        let plan = FaultPlan::healthy().with_state(
+            Accelerator::Multicore,
+            FaultState::Degraded {
+                surviving_core_fraction: 0.25,
+            },
+        );
+        let system = MultiAcceleratorSystem::primary().with_faults(plan);
+        let hm = HeteroMap::new(system, Box::new(DecisionTree::paper()));
+        // SSSP-Delta on USA-Cal is a multicore pick (Fig. 7).
+        let p = hm.schedule(Workload::SsspDelta, Dataset::UsaCal);
+        assert_eq!(p.accelerator(), Accelerator::Multicore);
+        assert_eq!(p.attempts.degraded_deploys, 1);
+        let healthy =
+            HeteroMap::with_decision_tree().schedule(Workload::SsspDelta, Dataset::UsaCal);
+        assert!(
+            p.report.time_ms > healthy.report.time_ms,
+            "degraded {} vs healthy {}",
+            p.report.time_ms,
+            healthy.report.time_ms
+        );
+    }
+
+    #[test]
+    fn timeout_fails_over_and_charges_the_budget() {
+        // A 0.0001 ms budget is unmeetable: both accelerators time out.
+        let hm = HeteroMap::with_decision_tree()
+            .with_retry_policy(RetryPolicy::no_retry().with_timeout_ms(1e-4));
+        let p = hm.schedule(Workload::PageRank, Dataset::LiveJournal);
+        assert!(!p.completed());
+        assert_eq!(p.attempts.failovers, 1);
+        assert!(p
+            .attempts
+            .records
+            .iter()
+            .all(|r| matches!(r.outcome, AttemptOutcome::Timeout { .. })));
+        assert!((p.attempts.retry_time_ms - 2e-4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn static_default_fallback_rescues_nan_predictor() {
+        struct NanPredictor;
+        impl Predictor for NanPredictor {
+            fn name(&self) -> &str {
+                "NaN"
+            }
+            fn predict(&self, _b: &BVector, _i: &IVector) -> MConfig {
+                let mut cfg = MConfig::gpu_default();
+                cfg.cores = f64::NAN;
+                cfg
+            }
+        }
+        let hm = HeteroMap::new(MultiAcceleratorSystem::primary(), Box::new(NanPredictor));
+        let p = hm.schedule(Workload::Bfs, Dataset::Facebook);
+        assert!(p.completed());
+        // The decision tree (fallback step 1) rescued the prediction.
+        assert_eq!(p.attempts.predictor_fallbacks, 1);
+        assert!(p.report.time_ms.is_finite());
     }
 }

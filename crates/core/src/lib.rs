@@ -45,6 +45,8 @@
 pub mod framework;
 pub mod online;
 pub mod report;
+pub mod resilient;
 
 pub use framework::HeteroMap;
 pub use report::{Placement, StreamReport};
+pub use resilient::{AttemptLog, AttemptOutcome, AttemptRecord, RetryPolicy, StaticDefault};

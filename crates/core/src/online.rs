@@ -4,10 +4,16 @@
 //! concurrency parameters for each chunk".
 
 use crate::framework::HeteroMap;
-use crate::report::StreamReport;
+use crate::report::{Placement, StreamReport};
+use crate::resilient::AttemptOutcome;
 use heteromap_graph::stream::GraphStream;
 use heteromap_graph::CsrGraph;
 use heteromap_model::Workload;
+
+/// How many times one chunk range may be re-streamed at a halved budget
+/// before its failed placement is kept as-is (guards against working sets
+/// that exceed memory even at single-vertex granularity).
+const MAX_RESTREAM_DEPTH: u32 = 16;
 
 impl HeteroMap {
     /// Streams `graph` through byte-budgeted chunks, predicting and
@@ -16,18 +22,63 @@ impl HeteroMap {
     /// Each chunk's measured statistics (vertices, edges, max degree,
     /// approximate diameter) feed the `I` discretization, so sparse and
     /// dense regions of one graph can land on different accelerators.
+    ///
+    /// When a chunk's deploy fails with out-of-memory on every accelerator
+    /// (a fault plan with streaming disabled), the chunk's vertex range is
+    /// re-streamed at half the byte budget — recursively, until the pieces
+    /// fit or [`MAX_RESTREAM_DEPTH`] halvings are exhausted. Each halving
+    /// increments [`StreamReport::restreams`].
     pub fn schedule_stream(
         &self,
         workload: Workload,
         graph: &CsrGraph,
         chunk_byte_budget: usize,
     ) -> StreamReport {
+        let mut chunks = Vec::new();
+        let mut restreams = 0u32;
+        self.stream_into(
+            workload,
+            graph,
+            chunk_byte_budget,
+            0,
+            &mut chunks,
+            &mut restreams,
+        );
+        StreamReport { chunks, restreams }
+    }
+
+    fn stream_into(
+        &self,
+        workload: Workload,
+        graph: &CsrGraph,
+        chunk_byte_budget: usize,
+        depth: u32,
+        chunks: &mut Vec<Placement>,
+        restreams: &mut u32,
+    ) {
         let stream = GraphStream::with_byte_budget(graph, chunk_byte_budget);
-        let chunks = stream
-            .iter()
-            .map(|chunk| self.schedule_stats(workload, chunk.stats))
-            .collect();
-        StreamReport { chunks }
+        for chunk in stream.iter() {
+            let placement = self.schedule_stats(workload, chunk.stats);
+            let oom = placement
+                .attempts
+                .records
+                .iter()
+                .any(|r| matches!(r.outcome, AttemptOutcome::OutOfMemory { .. }));
+            if oom && !placement.completed() && depth < MAX_RESTREAM_DEPTH && chunk_byte_budget > 1
+            {
+                *restreams += 1;
+                self.stream_into(
+                    workload,
+                    &chunk.graph,
+                    chunk_byte_budget / 2,
+                    depth + 1,
+                    chunks,
+                    restreams,
+                );
+            } else {
+                chunks.push(placement);
+            }
+        }
     }
 }
 

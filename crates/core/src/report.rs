@@ -1,12 +1,13 @@
 //! Scheduling decision and outcome types.
 
+use crate::resilient::AttemptLog;
 use heteromap_accel::SimReport;
 use heteromap_model::{Accelerator, MConfig};
 use serde::{Deserialize, Serialize};
 
 /// One scheduling decision: the predicted machine configuration and the
 /// simulated outcome of deploying it (Fig. 8 steps 2–3).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Placement {
     /// The predicted machine choices (`M1..M20`).
     pub config: MConfig,
@@ -16,12 +17,24 @@ pub struct Placement {
     /// Predictor inference latency in milliseconds (already included in
     /// `report.time_ms`, as in §V-A).
     pub predictor_overhead_ms: f64,
+    /// Audit trail of the deploy attempts behind this placement (a single
+    /// clean success on a healthy system; retries, failovers and degraded
+    /// deploys under faults). Its `retry_time_ms` is already included in
+    /// `report.time_ms`, like the predictor overhead.
+    pub attempts: AttemptLog,
 }
 
 impl Placement {
     /// The accelerator the combination was routed to.
     pub fn accelerator(&self) -> Accelerator {
         self.config.accelerator
+    }
+
+    /// Whether the deployment actually completed (a placement produced
+    /// after exhausting every accelerator carries an infinite time and a
+    /// failed final attempt).
+    pub fn completed(&self) -> bool {
+        self.report.time_ms.is_finite() && self.attempts.succeeded()
     }
 }
 
@@ -30,6 +43,9 @@ impl Placement {
 pub struct StreamReport {
     /// Per-chunk placements in temporal order.
     pub chunks: Vec<Placement>,
+    /// How many chunk ranges had to be re-streamed at a halved byte budget
+    /// after an out-of-memory deploy failure (0 on a healthy system).
+    pub restreams: u32,
 }
 
 impl StreamReport {
@@ -42,6 +58,24 @@ impl StreamReport {
     /// Total energy across chunks.
     pub fn total_energy_j(&self) -> f64 {
         self.chunks.iter().map(|p| p.report.energy_j).sum()
+    }
+
+    /// Total deploy attempts across all chunks.
+    pub fn total_attempts(&self) -> usize {
+        self.chunks
+            .iter()
+            .map(|p| p.attempts.total_attempts())
+            .sum()
+    }
+
+    /// Total failovers across all chunks.
+    pub fn total_failovers(&self) -> u32 {
+        self.chunks.iter().map(|p| p.attempts.failovers).sum()
+    }
+
+    /// Total simulated retry/backoff time charged across all chunks.
+    pub fn total_retry_time_ms(&self) -> f64 {
+        self.chunks.iter().map(|p| p.attempts.retry_time_ms).sum()
     }
 
     /// Number of chunks routed to each accelerator `(gpu, multicore)`.
@@ -70,6 +104,7 @@ mod tests {
                 utilization: 0.5,
             },
             predictor_overhead_ms: 0.01,
+            attempts: AttemptLog::clean_success(accel),
         }
     }
 
@@ -80,15 +115,27 @@ mod tests {
                 placement(Accelerator::Gpu, 10.0),
                 placement(Accelerator::Multicore, 5.0),
             ],
+            restreams: 0,
         };
         assert_eq!(r.total_time_ms(), 15.0);
         assert_eq!(r.total_energy_j(), 30.0);
         assert_eq!(r.accelerator_split(), (1, 1));
+        assert_eq!(r.total_attempts(), 2);
+        assert_eq!(r.total_failovers(), 0);
+        assert_eq!(r.total_retry_time_ms(), 0.0);
     }
 
     #[test]
     fn placement_accessor() {
         let p = placement(Accelerator::Multicore, 1.0);
         assert_eq!(p.accelerator(), Accelerator::Multicore);
+        assert!(p.completed());
+    }
+
+    #[test]
+    fn infinite_placement_is_not_completed() {
+        let mut p = placement(Accelerator::Gpu, 1.0);
+        p.report.time_ms = f64::INFINITY;
+        assert!(!p.completed());
     }
 }

@@ -1,0 +1,297 @@
+//! Resilient scheduling primitives: retry policies, attempt bookkeeping and
+//! the last-resort static predictor.
+//!
+//! The paper's framework assumes every deploy succeeds; this module carries
+//! what the fault-tolerant scheduling path (see
+//! [`HeteroMap::schedule_context`](crate::HeteroMap::schedule_context)) needs
+//! on top of that:
+//!
+//! * [`RetryPolicy`] — how many times to retry a transient deploy failure,
+//!   with exponential backoff and deterministic seeded jitter. All retry
+//!   cost is *simulated* and charged to the completion time exactly like
+//!   predictor overhead (§V-A);
+//! * [`AttemptLog`] / [`AttemptRecord`] — the audit trail of a scheduling
+//!   decision: every attempt, failover, degraded deploy and the total time
+//!   charged for resilience;
+//! * [`StaticDefault`] — the end of the predictor fallback chain: a fixed
+//!   default configuration that is always feasible.
+
+use heteromap_model::{Accelerator, BVector, IVector, MConfig};
+use heteromap_predict::Predictor;
+use serde::{Deserialize, Serialize};
+use std::hash::{Hash, Hasher};
+
+/// Retry/backoff policy for transient deploy failures.
+///
+/// Backoff before retry `k` (1-based) is
+/// `base_backoff_ms * backoff_multiplier^(k-1)`, scaled by a deterministic
+/// jitter in `[1 - jitter_frac, 1 + jitter_frac]` drawn from `seed` — runs
+/// are bit-reproducible, but consecutive retries do not synchronize.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Maximum deploy attempts per accelerator (≥ 1) before failing over.
+    pub max_attempts: u32,
+    /// Backoff before the first retry, in simulated milliseconds.
+    pub base_backoff_ms: f64,
+    /// Multiplier applied to the backoff after each failed retry.
+    pub backoff_multiplier: f64,
+    /// Jitter amplitude as a fraction of the backoff (`0.1` = ±10%).
+    pub jitter_frac: f64,
+    /// Per-attempt completion-time budget in milliseconds; an attempt whose
+    /// simulated time exceeds it counts as a timeout. `f64::INFINITY`
+    /// (the default) disables timeouts.
+    pub attempt_timeout_ms: f64,
+    /// Seed for the jitter draws.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff_ms: 1.0,
+            backoff_multiplier: 2.0,
+            jitter_frac: 0.1,
+            attempt_timeout_ms: f64::INFINITY,
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (one attempt, immediate failover).
+    pub fn no_retry() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Adds a per-attempt completion-time budget.
+    pub fn with_timeout_ms(mut self, attempt_timeout_ms: f64) -> Self {
+        self.attempt_timeout_ms = attempt_timeout_ms;
+        self
+    }
+
+    /// Simulated backoff charged before retry number `retry` (1-based:
+    /// the wait between attempt `retry - 1` failing and attempt `retry`
+    /// starting). Returns 0 for `retry == 0`.
+    pub fn backoff_ms(&self, retry: u32) -> f64 {
+        if retry == 0 {
+            return 0.0;
+        }
+        let base =
+            self.base_backoff_ms.max(0.0) * self.backoff_multiplier.max(1.0).powi(retry as i32 - 1);
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.seed.hash(&mut h);
+        retry.hash(&mut h);
+        let unit = h.finish() as f64 / (u64::MAX as f64 + 1.0); // [0, 1)
+        let jitter = 1.0 + self.jitter_frac.clamp(0.0, 1.0) * (2.0 * unit - 1.0);
+        base * jitter
+    }
+}
+
+/// How one deploy attempt ended.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AttemptOutcome {
+    /// The deploy completed.
+    Success,
+    /// The target accelerator was down.
+    AcceleratorDown,
+    /// A transient fault killed the attempt after `failed_after_ms`.
+    TransientFailure {
+        /// Simulated milliseconds wasted before the fault struck.
+        failed_after_ms: f64,
+    },
+    /// The attempt would have exceeded the policy's per-attempt budget.
+    Timeout {
+        /// The simulated completion time that broke the budget.
+        would_take_ms: f64,
+    },
+    /// The working set did not fit the accelerator's memory (streaming
+    /// disabled in the fault plan).
+    OutOfMemory {
+        /// Working-set footprint in bytes.
+        footprint_bytes: u64,
+        /// Accelerator memory capacity in bytes.
+        capacity_bytes: u64,
+    },
+}
+
+/// One deploy attempt in the audit trail.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AttemptRecord {
+    /// The accelerator the attempt targeted.
+    pub accelerator: Accelerator,
+    /// Zero-based attempt index on that accelerator.
+    pub attempt: u32,
+    /// How the attempt ended.
+    pub outcome: AttemptOutcome,
+    /// Simulated milliseconds this attempt charged to the completion time
+    /// (wasted partial runs, timeout budgets, backoff waits; 0 for a clean
+    /// first-attempt success).
+    pub charged_ms: f64,
+}
+
+/// Audit trail of one scheduling decision under faults.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct AttemptLog {
+    /// Every deploy attempt, in temporal order.
+    pub records: Vec<AttemptRecord>,
+    /// How many times scheduling moved to the other accelerator.
+    pub failovers: u32,
+    /// How many successful deploys ran on degraded (partial-core) silicon.
+    pub degraded_deploys: u32,
+    /// How many times an infeasible prediction fell back down the predictor
+    /// chain (trained model → decision tree → static default).
+    pub predictor_fallbacks: u32,
+    /// Total simulated retry/backoff/failover time charged to the
+    /// completion time (on top of predictor overhead).
+    pub retry_time_ms: f64,
+}
+
+impl AttemptLog {
+    /// The log of a clean first-attempt success on `accelerator` — what the
+    /// fault-free fast path records.
+    pub fn clean_success(accelerator: Accelerator) -> Self {
+        AttemptLog {
+            records: vec![AttemptRecord {
+                accelerator,
+                attempt: 0,
+                outcome: AttemptOutcome::Success,
+                charged_ms: 0.0,
+            }],
+            ..AttemptLog::default()
+        }
+    }
+
+    /// Total number of deploy attempts made.
+    pub fn total_attempts(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the final attempt succeeded.
+    pub fn succeeded(&self) -> bool {
+        matches!(
+            self.records.last().map(|r| r.outcome),
+            Some(AttemptOutcome::Success)
+        )
+    }
+}
+
+/// Last resort of the predictor fallback chain: a fixed default
+/// configuration for one accelerator. Always feasible, never trained.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StaticDefault {
+    /// The accelerator the default routes everything to.
+    pub accelerator: Accelerator,
+}
+
+impl Default for StaticDefault {
+    fn default() -> Self {
+        // The multicore is the conservative choice: coherent caches and no
+        // divergence cliffs make its default configuration broadly safe.
+        StaticDefault {
+            accelerator: Accelerator::Multicore,
+        }
+    }
+}
+
+impl Predictor for StaticDefault {
+    fn name(&self) -> &str {
+        "Static Default"
+    }
+
+    fn predict(&self, _b: &BVector, _i: &IVector) -> MConfig {
+        match self.accelerator {
+            Accelerator::Gpu => MConfig::gpu_default(),
+            Accelerator::Multicore => MConfig::multicore_default(),
+        }
+    }
+}
+
+/// Whether a predicted configuration can actually be deployed: every encoded
+/// dimension must be finite (NaN/±inf survive `MConfig::from_array`'s clamp
+/// and would poison the cost model).
+pub fn config_is_feasible(config: &MConfig) -> bool {
+    config.as_array().iter().all(|x| x.is_finite())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_retries_with_growing_backoff() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.max_attempts, 3);
+        assert_eq!(p.backoff_ms(0), 0.0);
+        let b1 = p.backoff_ms(1);
+        let b2 = p.backoff_ms(2);
+        let b3 = p.backoff_ms(3);
+        assert!(b1 > 0.0);
+        assert!(b2 > b1, "{b2} > {b1}");
+        assert!(b3 > b2, "{b3} > {b2}");
+        // Jitter bounded by ±10% of the exponential base.
+        assert!((b1 / 1.0 - 1.0).abs() <= 0.1 + 1e-12);
+        assert!((b2 / 2.0 - 1.0).abs() <= 0.1 + 1e-12);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_per_seed() {
+        let a = RetryPolicy::default();
+        let b = RetryPolicy::default();
+        assert_eq!(a.backoff_ms(2), b.backoff_ms(2));
+        let other = RetryPolicy {
+            seed: 99,
+            ..RetryPolicy::default()
+        };
+        assert_ne!(a.backoff_ms(2), other.backoff_ms(2));
+    }
+
+    #[test]
+    fn no_retry_policy_has_single_attempt() {
+        assert_eq!(RetryPolicy::no_retry().max_attempts, 1);
+    }
+
+    #[test]
+    fn clean_success_log_shape() {
+        let log = AttemptLog::clean_success(Accelerator::Gpu);
+        assert_eq!(log.total_attempts(), 1);
+        assert!(log.succeeded());
+        assert_eq!(log.failovers, 0);
+        assert_eq!(log.retry_time_ms, 0.0);
+        assert_eq!(log.records[0].charged_ms, 0.0);
+        assert!(!AttemptLog::default().succeeded());
+    }
+
+    #[test]
+    fn static_default_predicts_its_accelerator() {
+        use heteromap_graph::datasets::LiteratureMaxima;
+        use heteromap_graph::GraphStats;
+        use heteromap_model::{Grid, Workload};
+        let b = Workload::Bfs.b_vector();
+        let i = IVector::from_stats(
+            &GraphStats::from_known(1_000, 10_000, 30, 100),
+            &LiteratureMaxima::paper(),
+            Grid::PAPER,
+        );
+        let mc = StaticDefault::default();
+        assert_eq!(mc.predict(&b, &i).accelerator, Accelerator::Multicore);
+        let gpu = StaticDefault {
+            accelerator: Accelerator::Gpu,
+        };
+        assert_eq!(gpu.predict(&b, &i).accelerator, Accelerator::Gpu);
+        assert_eq!(gpu.name(), "Static Default");
+    }
+
+    #[test]
+    fn feasibility_rejects_nan_configs() {
+        let mut cfg = MConfig::gpu_default();
+        assert!(config_is_feasible(&cfg));
+        cfg.cores = f64::NAN;
+        assert!(!config_is_feasible(&cfg));
+        cfg.cores = f64::INFINITY;
+        assert!(!config_is_feasible(&cfg));
+    }
+}

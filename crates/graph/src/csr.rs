@@ -249,7 +249,10 @@ mod tests {
         let mut el = EdgeList::new(2);
         el.push(0, 5, 1.0);
         let err = el.into_csr().unwrap_err();
-        assert!(matches!(err, GraphError::VertexOutOfBounds { vertex: 5, .. }));
+        assert!(matches!(
+            err,
+            GraphError::VertexOutOfBounds { vertex: 5, .. }
+        ));
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! networks, dense for the connectome — at a host-executable scale for the
 //! real threaded kernels. This substitution is documented in DESIGN.md §2.
 
-use crate::gen::{Grid, GraphGenerator, Kronecker, PowerLaw, UniformRandom};
+use crate::gen::{GraphGenerator, Grid, Kronecker, PowerLaw, UniformRandom};
 use crate::stats::GraphStats;
 use crate::CsrGraph;
 use serde::{Deserialize, Serialize};
@@ -215,7 +215,13 @@ mod tests {
 
     #[test]
     fn paper_maxima_match_table1() {
-        let maxima = LiteratureMaxima::from_stats(Dataset::all().iter().map(|d| d.stats()).collect::<Vec<_>>().iter());
+        let maxima = LiteratureMaxima::from_stats(
+            Dataset::all()
+                .iter()
+                .map(|d| d.stats())
+                .collect::<Vec<_>>()
+                .iter(),
+        );
         let paper = LiteratureMaxima::paper();
         assert_eq!(maxima.vertices, paper.vertices);
         assert_eq!(maxima.edges, paper.edges);
@@ -243,7 +249,11 @@ mod tests {
     fn connectome_surrogate_is_dense() {
         let g = Dataset::MouseRetina.surrogate_graph(562, 1);
         let s = g.stats();
-        assert!(s.average_degree() > 50.0, "avg degree {}", s.average_degree());
+        assert!(
+            s.average_degree() > 50.0,
+            "avg degree {}",
+            s.average_degree()
+        );
     }
 
     #[test]

@@ -110,8 +110,8 @@ impl EdgeList {
             }
         }
         let mut j = 0;
-        for i in 0..self.len() {
-            if keep[i] {
+        for (i, &k) in keep.iter().enumerate() {
+            if k {
                 self.sources[j] = self.sources[i];
                 self.targets[j] = self.targets[i];
                 self.weights[j] = self.weights[i];

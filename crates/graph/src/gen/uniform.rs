@@ -102,7 +102,7 @@ mod tests {
         let g = UniformRandom::new(40, 200).generate(2);
         for v in 0..g.vertex_count() as VertexId {
             for &w in g.weights(v) {
-                assert!(w >= 1.0 && w < 16.0);
+                assert!((1.0..16.0).contains(&w));
             }
         }
     }

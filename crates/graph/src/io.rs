@@ -89,7 +89,11 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<EdgeList, ReadError> {
         max_id = max_id.max(src as u64).max(dst as u64);
         edges.push((src, dst, weight));
     }
-    let n = if edges.is_empty() { 0 } else { max_id as usize + 1 };
+    let n = if edges.is_empty() {
+        0
+    } else {
+        max_id as usize + 1
+    };
     let mut el = EdgeList::with_capacity(n, edges.len());
     el.extend(edges);
     Ok(el)

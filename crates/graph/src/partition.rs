@@ -76,9 +76,7 @@ pub fn partition_into(graph: &CsrGraph, count: usize) -> Vec<VertexRange> {
     let mut start = 0usize;
     while start < n {
         let end = (start + step).min(n);
-        let edges = (start..end)
-            .map(|v| graph.out_degree(v as VertexId))
-            .sum();
+        let edges = (start..end).map(|v| graph.out_degree(v as VertexId)).sum();
         ranges.push(VertexRange {
             start: start as VertexId,
             end: end as VertexId,

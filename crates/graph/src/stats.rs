@@ -47,7 +47,11 @@ impl GraphStats {
     /// the paper's road/social datasets are connected.
     pub fn measure(graph: &CsrGraph) -> Self {
         let n = graph.vertex_count();
-        let diameter = if n == 0 { 0 } else { approximate_diameter(graph) };
+        let diameter = if n == 0 {
+            0
+        } else {
+            approximate_diameter(graph)
+        };
         GraphStats {
             vertices: n as u64,
             edges: graph.edge_count() as u64,

@@ -79,13 +79,10 @@ impl<'g> GraphStream<'g> {
     ///
     /// Returns [`GraphError::ChunkOutOfBounds`] if `index >= chunk_count()`.
     pub fn chunk(&self, index: usize) -> Result<GraphChunk, GraphError> {
-        let range = *self
-            .ranges
-            .get(index)
-            .ok_or(GraphError::ChunkOutOfBounds {
-                index,
-                chunk_count: self.ranges.len(),
-            })?;
+        let range = *self.ranges.get(index).ok_or(GraphError::ChunkOutOfBounds {
+            index,
+            chunk_count: self.ranges.len(),
+        })?;
         let graph = self.source.vertex_range_subgraph(range.start, range.end);
         let stats = graph.stats();
         Ok(GraphChunk {
@@ -110,7 +107,7 @@ impl<'g> GraphStream<'g> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::gen::{Grid, GraphGenerator, UniformRandom};
+    use crate::gen::{GraphGenerator, Grid, UniformRandom};
 
     #[test]
     fn chunks_partition_the_vertex_set() {

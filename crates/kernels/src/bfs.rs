@@ -78,7 +78,7 @@ pub fn bfs_with(
 mod tests {
     use super::*;
     use crate::verify::bfs_seq;
-    use heteromap_graph::gen::{Grid, GraphGenerator, PowerLaw, UniformRandom};
+    use heteromap_graph::gen::{GraphGenerator, Grid, PowerLaw, UniformRandom};
     use heteromap_graph::EdgeList;
 
     #[test]

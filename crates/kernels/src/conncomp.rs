@@ -72,7 +72,7 @@ fn lower(slot: &AtomicU32, value: u32) -> bool {
 mod tests {
     use super::*;
     use crate::verify::conncomp_seq;
-    use heteromap_graph::gen::{Grid, GraphGenerator, UniformRandom};
+    use heteromap_graph::gen::{GraphGenerator, Grid, UniformRandom};
     use heteromap_graph::EdgeList;
 
     /// Normalizes directed-reachability differences: compare against

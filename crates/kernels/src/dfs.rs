@@ -81,7 +81,7 @@ pub fn dfs(graph: &CsrGraph, source: VertexId, threads: usize) -> DfsResult {
 mod tests {
     use super::*;
     use crate::verify::bfs_seq;
-    use heteromap_graph::gen::{Grid, GraphGenerator, PowerLaw, UniformRandom};
+    use heteromap_graph::gen::{GraphGenerator, Grid, PowerLaw, UniformRandom};
     use heteromap_graph::EdgeList;
 
     fn check_tree(graph: &CsrGraph, source: VertexId, result: &DfsResult) {
@@ -99,10 +99,10 @@ mod tests {
         }
         // The visited set equals BFS reachability.
         let reach = bfs_seq(graph, source);
-        for v in 0..graph.vertex_count() {
+        for (v, (&r, &p)) in reach.iter().zip(&result.parent).enumerate() {
             assert_eq!(
-                reach[v] != UNREACHED,
-                result.parent[v] != UNREACHED,
+                r != UNREACHED,
+                p != UNREACHED,
                 "vertex {v} reachability mismatch"
             );
         }

@@ -19,9 +19,7 @@ pub fn pagerank_dp(graph: &CsrGraph, iterations: u32, threads: usize) -> Vec<f64
     }
     let mut rank = vec![1.0f32 / n as f32; n];
     for _ in 0..iterations {
-        let next: Vec<AtomicU32> = (0..n)
-            .map(|_| AtomicU32::new(0.0f32.to_bits()))
-            .collect();
+        let next: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0.0f32.to_bits())).collect();
         let rank_ref = &rank;
         let next_ref = &next;
         // Dangling mass reduction.
@@ -44,8 +42,7 @@ pub fn pagerank_dp(graph: &CsrGraph, iterations: u32, threads: usize) -> Vec<f64
         });
         for (v, slot) in next.iter().enumerate() {
             let gathered = f32::from_bits(slot.load(Ordering::Relaxed));
-            rank[v] = (1.0 - DAMPING as f32) / n as f32
-                + DAMPING as f32 * (gathered + dangling);
+            rank[v] = (1.0 - DAMPING as f32) / n as f32 + DAMPING as f32 * (gathered + dangling);
         }
     }
     rank.into_iter().map(f64::from).collect()

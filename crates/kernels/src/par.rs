@@ -6,9 +6,10 @@ use std::sync::atomic::{AtomicU32, Ordering};
 /// Work-distribution policy for a parallel loop — the host realization of
 /// the paper's `OMP for schedule` machine choice (`M11`) and chunk size
 /// (`M12`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Scheduler {
     /// Contiguous static ranges, one per thread (`schedule(static)`).
+    #[default]
     Static,
     /// Threads grab `grain`-sized chunks from a shared cursor
     /// (`schedule(dynamic, grain)`).
@@ -28,12 +29,6 @@ impl Scheduler {
             Scheduler::Static => par_ranges(n, threads, work),
             Scheduler::Dynamic { grain } => par_dynamic(n, threads, grain, work),
         }
-    }
-}
-
-impl Default for Scheduler {
-    fn default() -> Self {
-        Scheduler::Static
     }
 }
 

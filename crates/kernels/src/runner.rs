@@ -32,7 +32,9 @@ impl KernelOutput {
                 .iter()
                 .map(|&x| if x == u32::MAX { 0.0 } else { x as f64 })
                 .sum(),
-            KernelOutput::Distances(d) => d.iter().filter(|x| x.is_finite()).map(|&x| x as f64).sum(),
+            KernelOutput::Distances(d) => {
+                d.iter().filter(|x| x.is_finite()).map(|&x| x as f64).sum()
+            }
             KernelOutput::Ranks(r) => r.iter().sum(),
             KernelOutput::Labels(l) => l.iter().map(|&x| x as f64).sum(),
             KernelOutput::Count(c) => *c as f64,
@@ -93,6 +95,11 @@ impl KernelRunner {
     /// GPU global threading, the `M11` schedule, and an `M12`-derived
     /// dynamic grain. This is the reproduction's host-side stand-in for the
     /// paper's step-3 deployment.
+    ///
+    /// The resulting thread count is clamped to the host's actual
+    /// parallelism (`std::thread::available_parallelism`), so a
+    /// `host_threads` budget larger than the machine cannot oversubscribe
+    /// it.
     pub fn from_mconfig(cfg: &MConfig, limits: &DeployLimits, host_threads: usize) -> Self {
         let deployed = match cfg.accelerator {
             heteromap_model::Accelerator::Multicore => limits.total_multicore_threads(cfg),
@@ -105,7 +112,11 @@ impl KernelRunner {
             }
             heteromap_model::Accelerator::Gpu => limits.max_global_threads as usize,
         };
-        let threads = ((deployed * host_threads.max(1)).div_ceil(hw_max.max(1))).max(1);
+        let available = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(usize::MAX);
+        let threads =
+            ((deployed * host_threads.max(1)).div_ceil(hw_max.max(1))).clamp(1, available.max(1));
         let scheduler = match cfg.schedule {
             OmpSchedule::Static => Scheduler::Static,
             _ => Scheduler::Dynamic {
@@ -202,11 +213,9 @@ impl KernelRunner {
                 self.community_iterations,
                 self.threads,
             )),
-            Workload::ConnComp => KernelOutput::Labels(conncomp::conncomp_with(
-                graph,
-                self.threads,
-                self.scheduler,
-            )),
+            Workload::ConnComp => {
+                KernelOutput::Labels(conncomp::conncomp_with(graph, self.threads, self.scheduler))
+            }
             // `Workload` is non_exhaustive; future variants fail loudly.
             #[allow(unreachable_patterns)]
             other => unimplemented!("no kernel for {other}"),
@@ -261,14 +270,38 @@ mod tests {
         cfg.schedule = OmpSchedule::Dynamic;
         cfg.chunk_size = 0.25;
         let r = KernelRunner::from_mconfig(&cfg, &limits, 8);
-        // Full multicore deployment maps to the full host budget.
-        assert_eq!(r.threads(), 8);
+        // Full multicore deployment maps to the full host budget, capped by
+        // what the host actually has.
+        let ap = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(usize::MAX);
+        assert_eq!(r.threads(), 8.min(ap));
         assert_eq!(r.scheduler, Scheduler::Dynamic { grain: 64 });
         // A one-core configuration scales down to a single host thread.
         cfg.cores = 0.0;
         cfg.threads_per_core = 0.0;
         let r = KernelRunner::from_mconfig(&cfg, &limits, 8);
         assert_eq!(r.threads(), 1);
+    }
+
+    #[test]
+    fn from_mconfig_never_oversubscribes_the_host() {
+        let limits = DeployLimits {
+            max_cores: 61,
+            max_threads_per_core: 4,
+            max_simd_width: 16,
+            max_global_threads: 10_240,
+            max_local_threads: 256,
+            max_blocktime_ms: 1000,
+        };
+        let cfg = MConfig::multicore_default();
+        // An absurd host budget must still clamp to real parallelism.
+        let r = KernelRunner::from_mconfig(&cfg, &limits, 1 << 20);
+        let ap = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(usize::MAX);
+        assert!(r.threads() <= ap, "{} > {}", r.threads(), ap);
+        assert!(r.threads() >= 1);
     }
 
     #[test]

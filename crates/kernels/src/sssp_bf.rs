@@ -69,7 +69,7 @@ pub fn sssp_bf_with(
 mod tests {
     use super::*;
     use crate::verify::dijkstra;
-    use heteromap_graph::gen::{Grid, GraphGenerator, PowerLaw, UniformRandom};
+    use heteromap_graph::gen::{GraphGenerator, Grid, PowerLaw, UniformRandom};
     use heteromap_graph::EdgeList;
 
     fn assert_close(a: &[f32], b: &[f32]) {

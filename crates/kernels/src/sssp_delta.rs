@@ -93,7 +93,7 @@ pub fn sssp_delta(
 mod tests {
     use super::*;
     use crate::verify::dijkstra;
-    use heteromap_graph::gen::{Grid, GraphGenerator, PowerLaw, UniformRandom};
+    use heteromap_graph::gen::{GraphGenerator, Grid, PowerLaw, UniformRandom};
 
     fn assert_close(a: &[f32], b: &[f32]) {
         for (i, (&x, &y)) in a.iter().zip(b.iter()).enumerate() {

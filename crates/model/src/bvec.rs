@@ -204,7 +204,9 @@ mod tests {
 
     #[test]
     fn unnormalized_phases_rejected() {
-        let v = [0.5, 0.0, 0.0, 0.0, 0.0, 0.0, 0.5, 0.0, 0.5, 0.5, 0.0, 0.0, 0.0];
+        let v = [
+            0.5, 0.0, 0.0, 0.0, 0.0, 0.0, 0.5, 0.0, 0.5, 0.5, 0.0, 0.0, 0.0,
+        ];
         assert!(matches!(
             BVector::new(v),
             Err(BVectorError::PhasesNotNormalized { .. })

@@ -18,6 +18,14 @@ pub enum Accelerator {
 impl Accelerator {
     /// Both accelerators, GPU first (the paper's better baseline).
     pub const ALL: [Accelerator; 2] = [Accelerator::Gpu, Accelerator::Multicore];
+
+    /// The other accelerator of the pair (the failover target).
+    pub fn other(self) -> Accelerator {
+        match self {
+            Accelerator::Gpu => Accelerator::Multicore,
+            Accelerator::Multicore => Accelerator::Gpu,
+        }
+    }
 }
 
 impl fmt::Display for Accelerator {
@@ -434,6 +442,14 @@ mod tests {
     fn display_of_enums() {
         assert_eq!(Accelerator::Gpu.to_string(), "GPU");
         assert_eq!(OmpSchedule::Dynamic.to_string(), "dynamic");
+    }
+
+    #[test]
+    fn other_accelerator_is_an_involution() {
+        for a in Accelerator::ALL {
+            assert_ne!(a.other(), a);
+            assert_eq!(a.other().other(), a);
+        }
     }
 
     #[test]

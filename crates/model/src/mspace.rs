@@ -66,8 +66,7 @@ impl MSpace {
                                             cfg.place_thread_ids = pl;
                                             cfg.place_offsets = pl;
                                             cfg.nested = nested;
-                                            cfg.max_active_levels =
-                                                if nested { 1.0 } else { 0.0 };
+                                            cfg.max_active_levels = if nested { 1.0 } else { 0.0 };
                                             out.push(cfg);
                                         }
                                     }

@@ -125,10 +125,7 @@ mod tests {
             Accelerator::Gpu => 0.0,
             Accelerator::Multicore => 5.0,
         };
-        accel_penalty
-            + (cfg.global_threads - 0.7).powi(2)
-            + (cfg.local_threads - 0.3).powi(2)
-            + 1.0
+        accel_penalty + (cfg.global_threads - 0.7).powi(2) + (cfg.local_threads - 0.3).powi(2) + 1.0
     }
 
     #[test]
@@ -143,7 +140,9 @@ mod tests {
     fn refinement_improves_on_coarse_grid() {
         // Optimum at 0.7/0.3 is off the coarse {0, .25, .5, .75, 1} grid,
         // so refinement must lower the cost.
-        let coarse_only = Autotuner::exhaustive().with_refine_budget(0).tune(convex_oracle);
+        let coarse_only = Autotuner::exhaustive()
+            .with_refine_budget(0)
+            .tune(convex_oracle);
         let refined = Autotuner::exhaustive().tune(convex_oracle);
         assert!(refined.cost <= coarse_only.cost);
         assert!(refined.cost < coarse_only.cost + 1e-12);

@@ -220,11 +220,7 @@ mod tests {
             fn name(&self) -> &str {
                 "Oracle"
             }
-            fn predict(
-                &self,
-                b: &heteromap_model::BVector,
-                i: &IVector,
-            ) -> MConfig {
+            fn predict(&self, b: &heteromap_model::BVector, i: &IVector) -> MConfig {
                 self.0
                     .iter()
                     .find(|r| r.workload.b_vector() == *b && r.i == *i)

@@ -137,8 +137,14 @@ mod tests {
         let knn = KnnPredictor::new(&db, 3);
         let s_gpu = &db.samples()[5];
         let s_mc = &db.samples()[15];
-        assert_eq!(knn.predict(&s_gpu.b, &s_gpu.i).accelerator, Accelerator::Gpu);
-        assert_eq!(knn.predict(&s_mc.b, &s_mc.i).accelerator, Accelerator::Multicore);
+        assert_eq!(
+            knn.predict(&s_gpu.b, &s_gpu.i).accelerator,
+            Accelerator::Gpu
+        );
+        assert_eq!(
+            knn.predict(&s_mc.b, &s_mc.i).accelerator,
+            Accelerator::Multicore
+        );
     }
 
     #[test]

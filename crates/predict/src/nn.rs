@@ -141,9 +141,8 @@ impl NeuralPredictor {
                     let mut cur = vec![0.0; layers[l].outputs];
                     for (h, c) in cur.iter_mut().enumerate() {
                         let mut sum = 0.0;
-                        for o in 0..layer_next.outputs {
-                            sum +=
-                                layer_next.weights[o * layer_next.inputs + h] * deltas[l + 1][o];
+                        for (o, &d) in deltas[l + 1].iter().enumerate() {
+                            sum += layer_next.weights[o * layer_next.inputs + h] * d;
                         }
                         let a = acts[l][h];
                         *c = sum * a * (1.0 - a);
@@ -158,13 +157,12 @@ impl NeuralPredictor {
                         acts[l - 1].clone()
                     };
                     let layer = &mut layers[l];
-                    for o in 0..layer.outputs {
-                        let d = deltas[l][o];
+                    for (o, &d) in deltas[l].iter().enumerate() {
                         let base = o * layer.inputs;
                         for (i, &xi) in input_owned.iter().enumerate() {
                             let g = d * xi;
-                            let v = layer.w_vel[base + i] * config.momentum
-                                - config.learning_rate * g;
+                            let v =
+                                layer.w_vel[base + i] * config.momentum - config.learning_rate * g;
                             layer.w_vel[base + i] = v;
                             layer.weights[base + i] += v;
                         }
@@ -243,10 +241,7 @@ mod tests {
                 Workload::SsspDelta.b_vector()
             };
             let stats = GraphStats::from_known(1000 + k, 8000, 50, 10);
-            let i = IVector::from_normalized(
-                [0.1 * (k % 10) as f64, 0.5, 0.2, 0.1],
-                stats,
-            );
+            let i = IVector::from_normalized([0.1 * (k % 10) as f64, 0.5, 0.2, 0.1], stats);
             let optimal = if parallel {
                 MConfig::gpu_default()
             } else {

@@ -90,6 +90,10 @@ pub fn write_database<W: Write>(set: &TrainingSet, mut writer: W) -> Result<(), 
 
 /// Reads a database previously written by [`write_database`].
 ///
+/// This is the **strict** mode: the header must match exactly and the first
+/// malformed row aborts the read. Use [`read_database_lenient`] for
+/// databases that passed through other tooling.
+///
 /// # Errors
 ///
 /// Returns [`PersistError`] on I/O failures, a wrong header, or malformed
@@ -113,6 +117,69 @@ pub fn read_database<R: Read>(reader: R) -> Result<TrainingSet, PersistError> {
         set.push(row);
     }
     Ok(set)
+}
+
+/// Outcome of a lenient database read: the rows that parsed, plus a count
+/// and description of what was skipped.
+#[derive(Debug)]
+pub struct LenientRead {
+    /// All rows that parsed cleanly.
+    pub set: TrainingSet,
+    /// How many rows were skipped as corrupt.
+    pub skipped_rows: usize,
+    /// `(line number, reason)` for each skipped row (capped at the first
+    /// 100 to bound memory on pathological inputs).
+    pub warnings: Vec<(usize, String)>,
+}
+
+/// Maximum number of per-row warnings a lenient read retains.
+const MAX_LENIENT_WARNINGS: usize = 100;
+
+/// Reads a database **leniently**: the header comparison tolerates a
+/// trailing carriage return (CRLF files) and surrounding whitespace, and
+/// corrupt rows are skipped — counted and reported in
+/// [`LenientRead::warnings`] — instead of aborting the read.
+///
+/// Databases edited by hand, truncated by interrupted writes, or shuttled
+/// through Windows tooling stay loadable; the caller decides whether the
+/// skip count is acceptable. [`read_database`] remains the default strict
+/// mode.
+///
+/// # Errors
+///
+/// Returns [`PersistError`] only on I/O failures or a header that does not
+/// match even after trimming.
+pub fn read_database_lenient<R: Read>(reader: R) -> Result<LenientRead, PersistError> {
+    let mut lines = BufReader::new(reader).lines();
+    let header = lines.next().transpose()?.unwrap_or_default();
+    if header.trim() != HEADER {
+        return Err(PersistError::BadHeader(header));
+    }
+    let mut set = TrainingSet::new();
+    let mut skipped_rows = 0usize;
+    let mut warnings = Vec::new();
+    for (idx, line) in lines.enumerate() {
+        let line = line?;
+        // `BufRead::lines` strips `\n` but keeps a CRLF file's `\r`.
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        match parse_row(trimmed) {
+            Ok(row) => set.push(row),
+            Err(reason) => {
+                skipped_rows += 1;
+                if warnings.len() < MAX_LENIENT_WARNINGS {
+                    warnings.push((idx + 2, reason));
+                }
+            }
+        }
+    }
+    Ok(LenientRead {
+        set,
+        skipped_rows,
+        warnings,
+    })
 }
 
 fn parse_row(line: &str) -> Result<TrainingSample, String> {
@@ -217,5 +284,57 @@ mod tests {
             reason: "missing B1".into(),
         };
         assert!(e.to_string().contains("line 7"));
+    }
+
+    #[test]
+    fn lenient_read_tolerates_crlf_and_trailing_whitespace() {
+        let set = Trainer::new(MultiAcceleratorSystem::primary()).generate_database(5, 9);
+        let mut buf = Vec::new();
+        write_database(&set, &mut buf).unwrap();
+        // Re-encode with CRLF line endings and trailing spaces per line.
+        let crlf = String::from_utf8(buf)
+            .unwrap()
+            .lines()
+            .map(|l| format!("{l}  \r\n"))
+            .collect::<String>();
+        // Strict mode rejects the padded header...
+        assert!(matches!(
+            read_database(crlf.as_bytes()),
+            Err(PersistError::BadHeader(_))
+        ));
+        // ...lenient mode reads every row.
+        let lenient = read_database_lenient(crlf.as_bytes()).unwrap();
+        assert_eq!(lenient.set.len(), set.len());
+        assert_eq!(lenient.skipped_rows, 0);
+        assert!(lenient.warnings.is_empty());
+    }
+
+    #[test]
+    fn lenient_read_skips_corrupt_rows_with_warnings() {
+        let set = Trainer::new(MultiAcceleratorSystem::primary()).generate_database(4, 11);
+        let mut buf = Vec::new();
+        write_database(&set, &mut buf).unwrap();
+        let mut text = String::from_utf8(buf).unwrap();
+        text.push_str("0.5 garbage row\n");
+        text.push_str("1.0 2.0\n");
+        let lenient = read_database_lenient(text.as_bytes()).unwrap();
+        assert_eq!(lenient.set.len(), set.len());
+        assert_eq!(lenient.skipped_rows, 2);
+        assert_eq!(lenient.warnings.len(), 2);
+        // Warnings carry 1-based line numbers past the header + 4 rows.
+        assert_eq!(lenient.warnings[0].0, 6);
+        // Strict mode aborts on the same input.
+        assert!(matches!(
+            read_database(text.as_bytes()),
+            Err(PersistError::BadRow { .. })
+        ));
+    }
+
+    #[test]
+    fn lenient_read_still_rejects_foreign_headers() {
+        assert!(matches!(
+            read_database_lenient("csv,but,not,ours\n1,2,3\n".as_bytes()),
+            Err(PersistError::BadHeader(_))
+        ));
     }
 }

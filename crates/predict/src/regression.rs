@@ -155,10 +155,7 @@ mod tests {
                 Workload::TriangleCount.b_vector()
             };
             let stats = GraphStats::from_known(1000, 8000, 50, 10);
-            let i = IVector::from_normalized(
-                [0.1 * (k % 10) as f64, 0.4, 0.3, 0.2],
-                stats,
-            );
+            let i = IVector::from_normalized([0.1 * (k % 10) as f64, 0.4, 0.3, 0.2], stats);
             set.push(TrainingSample {
                 b,
                 i,
@@ -186,7 +183,8 @@ mod tests {
             Accelerator::Gpu
         );
         assert_eq!(
-            reg.predict(&Workload::TriangleCount.b_vector(), &i).accelerator,
+            reg.predict(&Workload::TriangleCount.b_vector(), &i)
+                .accelerator,
             Accelerator::Multicore
         );
     }
@@ -220,7 +218,10 @@ mod tests {
     #[test]
     fn names_match_table4() {
         let set = toy_set();
-        assert_eq!(RegressionPredictor::train_linear(&set).name(), "Linear Regression");
+        assert_eq!(
+            RegressionPredictor::train_linear(&set).name(),
+            "Linear Regression"
+        );
         assert!(RegressionPredictor::train_multi(&set)
             .name()
             .starts_with("Multi Regression"));

@@ -72,7 +72,11 @@ impl SyntheticBenchmarks {
             let share = if k + 1 == chosen.len() {
                 remaining
             } else {
-                rng.gen_range(1..=remaining.saturating_sub((chosen.len() - k - 1) as u32).max(1))
+                rng.gen_range(
+                    1..=remaining
+                        .saturating_sub((chosen.len() - k - 1) as u32)
+                        .max(1),
+                )
             };
             phases[p] = share as f64 / 10.0;
             remaining -= share;
@@ -155,7 +159,7 @@ impl SyntheticInputs {
         GraphStats::from_known(
             v as u64,
             e as u64,
-            (max_degree as u64).min(3_000_000).max(1),
+            (max_degree as u64).clamp(1, 3_000_000),
             (diameter as u64).clamp(1, 2_622),
         )
     }

@@ -138,8 +138,8 @@ mod tests {
     #[test]
     fn energy_objective_changes_cost_metric() {
         let perf = Trainer::new(MultiAcceleratorSystem::primary());
-        let energy = Trainer::new(MultiAcceleratorSystem::primary())
-            .with_objective(Objective::Energy);
+        let energy =
+            Trainer::new(MultiAcceleratorSystem::primary()).with_objective(Objective::Energy);
         assert_eq!(energy.objective(), Objective::Energy);
         let set = perf.generate_database(3, 5);
         let s = &set.samples()[0];

@@ -21,7 +21,11 @@ fn main() {
     );
     let mut perf_joules = 0.0;
     let mut energy_joules = 0.0;
-    for w in [Workload::SsspBf, Workload::PageRank, Workload::TriangleCount] {
+    for w in [
+        Workload::SsspBf,
+        Workload::PageRank,
+        Workload::TriangleCount,
+    ] {
         for d in [Dataset::Facebook, Dataset::Cage14, Dataset::RggN24] {
             let p = perf.schedule(w, d);
             let e = energy.schedule(w, d);

@@ -1,0 +1,70 @@
+//! Fault injection and failover: kill the GPU, flake the pair, degrade the
+//! multicore — and watch the scheduler keep completing work (the README's
+//! fault-tolerance example, extended).
+
+use heteromap::resilient::RetryPolicy;
+use heteromap::HeteroMap;
+use heteromap_accel::{FaultPlan, FaultState, MultiAcceleratorSystem};
+use heteromap_graph::datasets::Dataset;
+use heteromap_model::{Accelerator, Workload};
+use heteromap_predict::DecisionTree;
+
+fn scheduler(plan: FaultPlan) -> HeteroMap {
+    HeteroMap::new(
+        MultiAcceleratorSystem::primary().with_faults(plan),
+        Box::new(DecisionTree::paper()),
+    )
+    .with_retry_policy(RetryPolicy::default()) // 3 attempts, exp. backoff
+}
+
+fn describe(label: &str, hm: &HeteroMap, w: Workload, d: Dataset) {
+    let p = hm.schedule(w, d);
+    if p.completed() {
+        println!(
+            "{label:>18}: {w} on {d} -> {} in {:.2} ms \
+             ({} attempts, {} failovers, {:.3} ms retry time charged)",
+            p.accelerator(),
+            p.report.time_ms,
+            p.attempts.total_attempts(),
+            p.attempts.failovers,
+            p.attempts.retry_time_ms,
+        );
+    } else {
+        println!(
+            "{label:>18}: {w} on {d} -> never completed \
+             ({} attempts across both accelerators)",
+            p.attempts.total_attempts(),
+        );
+    }
+}
+
+fn main() {
+    let w = Workload::SsspBf;
+    let d = Dataset::LiveJournal;
+
+    describe("healthy", &scheduler(FaultPlan::healthy()), w, d);
+    describe("GPU down", &scheduler(FaultPlan::gpu_down()), w, d);
+    describe(
+        "transient p=0.5",
+        &scheduler(FaultPlan::transient(0.5, 42)),
+        w,
+        d,
+    );
+    describe(
+        "multicore at 25%",
+        &scheduler(FaultPlan::gpu_down().with_state(
+            Accelerator::Multicore,
+            FaultState::Degraded {
+                surviving_core_fraction: 0.25,
+            },
+        )),
+        w,
+        d,
+    );
+    describe(
+        "both down",
+        &scheduler(FaultPlan::gpu_down().with_state(Accelerator::Multicore, FaultState::Down)),
+        w,
+        d,
+    );
+}

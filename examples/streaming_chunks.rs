@@ -48,7 +48,14 @@ fn main() {
             report.total_energy_j()
         );
         for p in &report.chunks {
-            print!(" {}", if gpu > 0 && p.accelerator() == heteromap_model::Accelerator::Gpu { "G" } else { "M" });
+            print!(
+                " {}",
+                if gpu > 0 && p.accelerator() == heteromap_model::Accelerator::Gpu {
+                    "G"
+                } else {
+                    "M"
+                }
+            );
         }
         println!();
     }

@@ -40,10 +40,7 @@ fn both_sssp_kernels_match_dijkstra() {
                 KernelOutput::Distances(dist) => {
                     for (v, (&a, &b)) in dist.iter().zip(expected.iter()).enumerate() {
                         if a.is_finite() || b.is_finite() {
-                            assert!(
-                                (a - b).abs() < 1e-2,
-                                "{d}/{w} vertex {v}: {a} vs {b}"
-                            );
+                            assert!((a - b).abs() < 1e-2, "{d}/{w} vertex {v}: {a} vs {b}");
                         }
                     }
                 }

@@ -37,7 +37,10 @@ fn fig1_road_network_prefers_multicore_for_delta_stepping() {
 fn fig1_dense_cage_prefers_gpu_for_delta_stepping() {
     let sys = MultiAcceleratorSystem::primary();
     let (gpu, mc) = best_times(Workload::SsspDelta, Dataset::Cage14, &sys);
-    assert!(gpu <= mc, "GPU ({gpu:.1} ms) should win CAGE-14 ({mc:.1} ms)");
+    assert!(
+        gpu <= mc,
+        "GPU ({gpu:.1} ms) should win CAGE-14 ({mc:.1} ms)"
+    );
 }
 
 #[test]
@@ -54,7 +57,11 @@ fn traversals_are_gpu_biased_on_social_graphs() {
 #[test]
 fn fp_workloads_are_multicore_biased_on_mid_size_graphs() {
     let sys = MultiAcceleratorSystem::primary();
-    for w in [Workload::PageRank, Workload::PageRankDp, Workload::Community] {
+    for w in [
+        Workload::PageRank,
+        Workload::PageRankDp,
+        Workload::Community,
+    ] {
         for d in [Dataset::Facebook, Dataset::LiveJournal] {
             let (gpu, mc) = best_times(w, d, &sys);
             assert!(mc < gpu, "{w}/{d}: MC {mc:.1} vs GPU {gpu:.1}");
@@ -67,7 +74,11 @@ fn friendster_and_kron_flip_multicore_benchmarks_to_gpu() {
     // §VII-B: "Some notable exceptions in these cases are Frnd. and Kron.
     // graphs, which perform better on the GPU because they are large."
     let sys = MultiAcceleratorSystem::primary();
-    for w in [Workload::PageRank, Workload::TriangleCount, Workload::ConnComp] {
+    for w in [
+        Workload::PageRank,
+        Workload::TriangleCount,
+        Workload::ConnComp,
+    ] {
         for d in [Dataset::Friendster, Dataset::KronLarge] {
             let (gpu, mc) = best_times(w, d, &sys);
             assert!(gpu < mc, "{w}/{d}: GPU {gpu:.1} vs MC {mc:.1}");

@@ -27,7 +27,10 @@ fn offline_training_to_online_evaluation() {
     for w in Workload::all() {
         for d in Dataset::all() {
             let p = hm.schedule(w, d);
-            assert!(p.report.time_ms.is_finite() && p.report.time_ms > 0.0, "{w}/{d}");
+            assert!(
+                p.report.time_ms.is_finite() && p.report.time_ms > 0.0,
+                "{w}/{d}"
+            );
             assert!(p.report.energy_j > 0.0);
             assert!((0.0..=1.0).contains(&p.report.utilization));
         }
@@ -42,7 +45,12 @@ fn trained_learner_beats_single_accelerator_geomean() {
         MultiAcceleratorSystem::primary(),
         150,
         Objective::Performance,
-        TrainConfig { hidden: 32, epochs: 60, seed: 21, ..TrainConfig::default() },
+        TrainConfig {
+            hidden: 32,
+            epochs: 60,
+            seed: 21,
+            ..TrainConfig::default()
+        },
     );
     let system = hm.system().clone();
     let mut ln_hm = 0.0;
@@ -83,7 +91,12 @@ fn trained_learner_beats_single_accelerator_geomean() {
 #[test]
 fn energy_training_shifts_placements_toward_low_power() {
     let system = MultiAcceleratorSystem::primary();
-    let cfg = TrainConfig { hidden: 32, epochs: 60, seed: 5, ..TrainConfig::default() };
+    let cfg = TrainConfig {
+        hidden: 32,
+        epochs: 60,
+        seed: 5,
+        ..TrainConfig::default()
+    };
     let perf = HeteroMap::train_deep_with(system.clone(), 100, Objective::Performance, cfg);
     let energy = HeteroMap::train_deep_with(system, 100, Objective::Energy, cfg);
     let count_gpu = |hm: &HeteroMap| -> usize {
@@ -117,10 +130,15 @@ fn decision_tree_and_deep_agree_on_extreme_combinations() {
         MultiAcceleratorSystem::primary(),
         250,
         Objective::Performance,
-        TrainConfig { hidden: 64, epochs: 80, seed: 9, ..TrainConfig::default() },
+        TrainConfig {
+            hidden: 64,
+            epochs: 80,
+            seed: 9,
+            ..TrainConfig::default()
+        },
     );
     for (w, d) in [
-        (Workload::Bfs, Dataset::KronLarge),    // massively parallel -> GPU
+        (Workload::Bfs, Dataset::KronLarge), // massively parallel -> GPU
         (Workload::TriangleCount, Dataset::MouseRetina), // cache-resident -> MC
     ] {
         let a = tree.schedule(w, d).accelerator();

@@ -12,30 +12,20 @@ use proptest::prelude::*;
 
 fn arbitrary_b() -> impl Strategy<Value = BVector> {
     // A random phase split plus independent B6-13 values.
-    (
-        0..=10u32,
-        prop::array::uniform8(0.0f64..=1.0),
-    )
-        .prop_map(|(split, rest)| {
-            let b1 = split as f64 / 10.0;
-            let b5 = 1.0 - b1;
-            let mut v = [0.0; 13];
-            v[0] = b1;
-            v[4] = b5;
-            v[5..].copy_from_slice(&rest);
-            BVector::new_unchecked(v)
-        })
+    (0..=10u32, prop::array::uniform8(0.0f64..=1.0)).prop_map(|(split, rest)| {
+        let b1 = split as f64 / 10.0;
+        let b5 = 1.0 - b1;
+        let mut v = [0.0; 13];
+        v[0] = b1;
+        v[4] = b5;
+        v[5..].copy_from_slice(&rest);
+        BVector::new_unchecked(v)
+    })
 }
 
 fn arbitrary_stats() -> impl Strategy<Value = GraphStats> {
-    (
-        1_000u64..=100_000_000,
-        1u64..=64,
-        1u64..=2_000,
-    )
-        .prop_map(|(v, deg, dia)| {
-            GraphStats::from_known(v, v.saturating_mul(deg), deg * 10, dia)
-        })
+    (1_000u64..=100_000_000, 1u64..=64, 1u64..=2_000)
+        .prop_map(|(v, deg, dia)| GraphStats::from_known(v, v.saturating_mul(deg), deg * 10, dia))
 }
 
 fn arbitrary_mconfig() -> impl Strategy<Value = MConfig> {
@@ -156,6 +146,45 @@ proptest! {
         for w in Workload::all() {
             let ctx = WorkloadContext::for_workload(w, stats);
             prop_assert!(ctx.iterations() >= 1.0);
+        }
+    }
+}
+
+// Robustness: the readers must reject, never panic on, arbitrary bytes.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn edge_list_reader_never_panics_on_arbitrary_bytes(
+        bytes in prop::collection::vec(0u8..=255, 0..1024),
+    ) {
+        // Ok or Err are both fine; panicking is not.
+        let _ = heteromap_graph::io::read_edge_list(&bytes[..]);
+    }
+
+    #[test]
+    fn profiler_db_readers_never_panic_on_arbitrary_bytes(
+        bytes in prop::collection::vec(0u8..=255, 0..1024),
+    ) {
+        let _ = heteromap_predict::persist::read_database(&bytes[..]);
+        let _ = heteromap_predict::persist::read_database_lenient(&bytes[..]);
+    }
+
+    #[test]
+    fn profiler_db_readers_never_panic_past_a_valid_header(
+        bytes in prop::collection::vec(0u8..=255, 0..1024),
+    ) {
+        // A correct header followed by garbage exercises the row parser.
+        let mut data = b"heteromap-profiler-db v1\n".to_vec();
+        data.extend_from_slice(&bytes);
+        let _ = heteromap_predict::persist::read_database(&data[..]);
+        // Lenient mode may only fail on i/o errors (e.g. invalid UTF-8
+        // surfacing as InvalidData) — never on row contents.
+        if let Err(e) = heteromap_predict::persist::read_database_lenient(&data[..]) {
+            prop_assert!(
+                matches!(e, heteromap_predict::persist::PersistError::Io(_)),
+                "unexpected lenient failure: {e}"
+            );
         }
     }
 }

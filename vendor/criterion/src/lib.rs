@@ -1,0 +1,208 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment has no network access to crates.io, so this crate
+//! supplies the criterion API subset the workspace's benches use:
+//! `Criterion::bench_function`, benchmark groups (`bench_function`,
+//! `bench_with_input`, `sample_size`, `finish`), `BenchmarkId`, `black_box`,
+//! and the `criterion_group!`/`criterion_main!` macros. Statistics are
+//! deliberately simple — warm-up plus a fixed number of timed samples with
+//! min/mean reported — which is enough to compare hot paths locally.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing dead-code elimination.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for a parameterized benchmark (`group/function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Builds an id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Times one benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: u64,
+    /// Mean duration of one iteration over the timed samples.
+    mean: Duration,
+    /// Fastest observed sample.
+    min: Duration,
+}
+
+impl Bencher {
+    fn new(samples: u64) -> Self {
+        Bencher {
+            samples,
+            mean: Duration::ZERO,
+            min: Duration::MAX,
+        }
+    }
+
+    /// Runs `body` repeatedly: one warm-up call, then `samples` timed calls.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        black_box(body());
+        let mut total = Duration::ZERO;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(body());
+            let elapsed = start.elapsed();
+            total += elapsed;
+            self.min = self.min.min(elapsed);
+        }
+        self.mean = total / self.samples.max(1) as u32;
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 30 }
+    }
+}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.sample_size, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            sample_size: 30,
+        }
+    }
+}
+
+/// Group of related benchmarks sharing a sample-size override.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c mut Criterion,
+    name: String,
+    sample_size: u64,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(format!("{}/{}", self.name, id), self.sample_size, f);
+        self
+    }
+
+    /// Runs a benchmark receiving a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(format!("{}/{}", self.name, id), self.sample_size, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (output is already flushed per benchmark).
+    pub fn finish(&mut self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: impl Display, samples: u64, mut f: F) {
+    let mut b = Bencher::new(samples);
+    f(&mut b);
+    println!(
+        "bench {name:<48} mean {:>12.1?}  min {:>12.1?}  ({} samples)",
+        b.mean, b.min, b.samples
+    );
+}
+
+/// Bundles benchmark functions under one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("stub/add", |b| b.iter(|| black_box(2u64) + black_box(3)));
+        let mut group = c.benchmark_group("stub_group");
+        group.sample_size(5);
+        group.bench_function("mul", |b| b.iter(|| black_box(6u64) * black_box(7)));
+        group.bench_with_input(BenchmarkId::new("sq", 9u32), &9u32, |b, &x| {
+            b.iter(|| black_box(x) * black_box(x))
+        });
+        group.finish();
+    }
+
+    criterion_group!(stub_benches, sample_bench);
+
+    #[test]
+    fn harness_runs_all_shapes() {
+        stub_benches();
+    }
+}

@@ -1,0 +1,76 @@
+//! Offline stand-in for `crossbeam`'s scoped threads.
+//!
+//! The workspace only uses `crossbeam::thread::scope` + `Scope::spawn`; std
+//! has shipped structured scoped threads since 1.63, so this stub forwards
+//! to [`std::thread::scope`]. Differences from crossbeam proper:
+//!
+//! * a child-thread panic is propagated by `std::thread::scope` (it resumes
+//!   the panic) instead of being returned as an `Err`, so the `Result` this
+//!   `scope` returns is always `Ok` — callers' `.expect(...)` stays correct;
+//! * the closure passed to [`thread::Scope::spawn`] receives an opaque
+//!   [`thread::SpawnToken`] rather than a nested `&Scope` (every call site
+//!   ignores the argument with `|_|`).
+
+/// Scoped-thread API mirroring `crossbeam::thread`.
+pub mod thread {
+    use std::any::Any;
+
+    /// Placeholder for the nested-scope handle crossbeam passes to spawned
+    /// closures; nested spawning is not supported by the stand-in.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SpawnToken;
+
+    /// A scope in which child threads may borrow from the parent's stack.
+    #[derive(Debug)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the thread is joined when the scope ends.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(SpawnToken) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            self.inner.spawn(move || f(SpawnToken))
+        }
+    }
+
+    /// Runs `f` with a scope handle, joining all spawned threads before
+    /// returning. Always `Ok`; see the module docs for the panic-semantics
+    /// difference from crossbeam.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn spawned_threads_run_and_join() {
+        let counter = AtomicUsize::new(0);
+        super::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn scope_returns_closure_value() {
+        let v = super::thread::scope(|s| {
+            let h = s.spawn(|_| 21);
+            h.join().unwrap() * 2
+        })
+        .unwrap();
+        assert_eq!(v, 42);
+    }
+}

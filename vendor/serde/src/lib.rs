@@ -1,0 +1,26 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types for
+//! downstream consumers but never serializes through serde itself (the
+//! profiler database uses its own line-oriented text format). With no
+//! network access to crates.io, this stub supplies the two marker traits and
+//! no-op derive macros so those derives keep compiling; swapping the real
+//! serde back in is a one-line Cargo change.
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker trait mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Mirror of `serde::de` with the owned-deserialization marker.
+pub mod de {
+    pub use crate::DeserializeOwned;
+}

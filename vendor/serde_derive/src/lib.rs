@@ -1,0 +1,125 @@
+//! No-op derive macros backing the offline `serde` stand-in.
+//!
+//! The stand-in's `Serialize`/`Deserialize` are empty marker traits, so the
+//! derives emit a blanket `impl` for the annotated type and nothing else.
+//! `#[serde(...)]` attributes are accepted and ignored.
+
+use proc_macro::{Ident, TokenStream, TokenTree};
+
+/// Derives the marker `serde::Serialize` impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_type_header(input) {
+        Some((name, generics)) => format!(
+            "impl{0} serde::Serialize for {1}{2} {{}}",
+            generics.decl, name, generics.usage
+        )
+        .parse()
+        .expect("generated impl parses"),
+        None => TokenStream::new(),
+    }
+}
+
+/// Derives the marker `serde::Deserialize<'de>` impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_type_header(input) {
+        Some((name, generics)) => {
+            let extra = if generics.params.is_empty() {
+                String::new()
+            } else {
+                format!(", {}", generics.params)
+            };
+            format!(
+                "impl<'de{extra}> serde::Deserialize<'de> for {name}{usage} {{}}",
+                usage = generics.usage
+            )
+            .parse()
+            .expect("generated impl parses")
+        }
+        None => TokenStream::new(),
+    }
+}
+
+struct Generics {
+    /// `<T: Bound, ...>` for the impl header (empty for non-generic types).
+    decl: String,
+    /// `<T, ...>` applied to the type name.
+    usage: String,
+    /// Bare parameter list `T: Bound, ...` (for merging into `<'de, ...>`).
+    params: String,
+}
+
+/// Extracts the type name and generic parameters from a
+/// `struct`/`enum`/`union` definition token stream.
+fn parse_type_header(input: TokenStream) -> Option<(Ident, Generics)> {
+    let mut tokens = input.into_iter().peekable();
+    // Skip attributes and visibility until the introducer keyword.
+    for tt in tokens.by_ref() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                break;
+            }
+        }
+    }
+    let name = match tokens.next()? {
+        TokenTree::Ident(id) => id,
+        _ => return None,
+    };
+    // Collect `<...>` generic parameters if present, dropping default values
+    // (`= ...`) which are not legal in impl headers.
+    let mut params = String::new();
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        tokens.next();
+        let mut depth = 1usize;
+        let mut skipping_default = false;
+        for tt in tokens.by_ref() {
+            match &tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                TokenTree::Punct(p) if p.as_char() == '=' && depth == 1 => {
+                    skipping_default = true;
+                    continue;
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                    skipping_default = false;
+                }
+                _ => {}
+            }
+            if !skipping_default {
+                params.push_str(&tt.to_string());
+                params.push(' ');
+            }
+        }
+    }
+    let params = params.trim().trim_end_matches(',').to_string();
+    let usage = if params.is_empty() {
+        String::new()
+    } else {
+        // Usage needs only the parameter names: strip bounds after ':'.
+        let names: Vec<String> = params
+            .split(',')
+            .map(|p| p.split(':').next().unwrap_or("").trim().to_string())
+            .collect();
+        format!("<{}>", names.join(", "))
+    };
+    let decl = if params.is_empty() {
+        String::new()
+    } else {
+        format!("<{params}>")
+    };
+    Some((
+        name,
+        Generics {
+            decl,
+            usage,
+            params,
+        },
+    ))
+}

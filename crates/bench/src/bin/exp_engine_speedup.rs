@@ -1,0 +1,154 @@
+//! **Engine speedup**: the persistent-pool execution engine vs the seed's
+//! spawn-per-call scoped threads, across all nine kernels on small and
+//! medium dataset surrogates.
+//!
+//! Every parallel region in the seed spawned and joined fresh OS threads —
+//! once per BFS level, twice per PageRank iteration — so on the graph sizes
+//! the bench suite uses, thread churn dominated edge work and contaminated
+//! both the figure reproductions and the autotuner's cost measurements.
+//! This experiment quantifies the recovered headroom: per-kernel ns/edge
+//! under both engines at the same thread count, a per-combination speedup,
+//! and the median speedup across the suite. Results are written to
+//! `BENCH_kernels.json` (the perf trajectory's first baseline artifact).
+
+use heteromap_bench::TextTable;
+use heteromap_graph::datasets::Dataset;
+use heteromap_graph::CsrGraph;
+use heteromap_kernels::{ExecEngine, KernelRunner};
+use heteromap_model::Workload;
+use std::time::Instant;
+
+/// Threads per kernel invocation. The pool parks this many workers once;
+/// the baseline spawns them anew inside every parallel region.
+const THREADS: usize = 8;
+/// Timed repetitions per (workload, graph, engine); the median is reported.
+const REPS: usize = 7;
+
+struct Row {
+    workload: Workload,
+    graph: &'static str,
+    edges: usize,
+    pooled_ns_edge: f64,
+    spawn_ns_edge: f64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.spawn_ns_edge / self.pooled_ns_edge
+    }
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let mid = xs.len() / 2;
+    if xs.len() % 2 == 1 {
+        xs[mid]
+    } else {
+        (xs[mid - 1] + xs[mid]) / 2.0
+    }
+}
+
+/// Median wall-clock nanoseconds for `runner.run(workload, graph)`.
+fn measure(runner: &KernelRunner, workload: Workload, graph: &CsrGraph) -> f64 {
+    // One warmup: faults in caches, grows the pool, builds the cached
+    // transpose so both engines amortize it identically.
+    let _ = runner.run(workload, graph);
+    let samples: Vec<f64> = (0..REPS)
+        .map(|_| {
+            let start = Instant::now();
+            let run = runner.run(workload, graph);
+            let ns = start.elapsed().as_nanos() as f64;
+            assert!(run.output.checksum().is_finite());
+            ns
+        })
+        .collect();
+    median(samples)
+}
+
+fn json_escape_free(s: &str) -> &str {
+    debug_assert!(s
+        .chars()
+        .all(|c| c.is_ascii_alphanumeric() || "-_./ ".contains(c)));
+    s
+}
+
+fn main() {
+    let graphs: Vec<(&'static str, CsrGraph)> = vec![
+        ("road-small", Dataset::UsaCal.surrogate_graph(800, 7)),
+        ("road-medium", Dataset::UsaCal.surrogate_graph(2_500, 7)),
+        ("social-small", Dataset::LiveJournal.surrogate_graph(800, 7)),
+        (
+            "social-medium",
+            Dataset::LiveJournal.surrogate_graph(2_500, 7),
+        ),
+    ];
+    let pooled = KernelRunner::new(THREADS).with_pagerank_iterations(5);
+    let spawn = pooled.with_engine(ExecEngine::SpawnPerCall);
+
+    println!(
+        "Engine speedup: pooled vs spawn-per-call, {THREADS} threads, \
+         median of {REPS} reps\n"
+    );
+    let mut rows: Vec<Row> = Vec::new();
+    for (tag, graph) in &graphs {
+        for w in Workload::all() {
+            let edges = graph.edge_count().max(1);
+            let pooled_ns = measure(&pooled, w, graph);
+            let spawn_ns = measure(&spawn, w, graph);
+            rows.push(Row {
+                workload: w,
+                graph: tag,
+                edges,
+                pooled_ns_edge: pooled_ns / edges as f64,
+                spawn_ns_edge: spawn_ns / edges as f64,
+            });
+        }
+    }
+
+    let mut table = TextTable::new([
+        "workload",
+        "graph",
+        "pooled ns/edge",
+        "spawn ns/edge",
+        "speedup",
+    ]);
+    for r in &rows {
+        table.row([
+            r.workload.to_string(),
+            r.graph.to_string(),
+            format!("{:.1}", r.pooled_ns_edge),
+            format!("{:.1}", r.spawn_ns_edge),
+            format!("{:.2}x", r.speedup()),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let median_speedup = median(rows.iter().map(Row::speedup).collect());
+    println!("median speedup (pooled vs spawn-per-call): {median_speedup:.2}x");
+
+    // Hand-rolled JSON: the workspace has no serde_json (offline vendoring),
+    // and the schema is flat.
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"engine_speedup\",\n");
+    json.push_str(&format!("  \"threads\": {THREADS},\n"));
+    json.push_str(&format!("  \"reps\": {REPS},\n"));
+    json.push_str(&format!("  \"median_speedup\": {median_speedup:.4},\n"));
+    json.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"graph\": \"{}\", \"edges\": {}, \
+             \"pooled_ns_per_edge\": {:.4}, \"spawn_ns_per_edge\": {:.4}, \
+             \"speedup\": {:.4}}}{}\n",
+            json_escape_free(&r.workload.to_string()),
+            json_escape_free(r.graph),
+            r.edges,
+            r.pooled_ns_edge,
+            r.spawn_ns_edge,
+            r.speedup(),
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
+    println!("\nwrote BENCH_kernels.json ({} result rows)", rows.len());
+}

@@ -3,6 +3,7 @@
 use crate::edgelist::EdgeList;
 use crate::stats::GraphStats;
 use crate::{GraphError, VertexId};
+use std::sync::{Arc, OnceLock};
 
 /// An immutable directed graph in compressed-sparse-row form.
 ///
@@ -24,11 +25,35 @@ use crate::{GraphError, VertexId};
 /// assert_eq!(g.out_degree(0), 2);
 /// assert_eq!(g.neighbors(1), &[2]);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug)]
 pub struct CsrGraph {
     offsets: Vec<usize>,
     targets: Vec<VertexId>,
     weights: Vec<f32>,
+    /// Lazily computed transpose, shared by reference across kernels
+    /// (pull-PageRank gathers and bottom-up BFS both need in-neighbours).
+    transpose_cache: OnceLock<Arc<CsrGraph>>,
+}
+
+impl Clone for CsrGraph {
+    fn clone(&self) -> Self {
+        // The cache is per-instance; a clone recomputes lazily if needed.
+        CsrGraph {
+            offsets: self.offsets.clone(),
+            targets: self.targets.clone(),
+            weights: self.weights.clone(),
+            transpose_cache: OnceLock::new(),
+        }
+    }
+}
+
+impl PartialEq for CsrGraph {
+    fn eq(&self, other: &Self) -> bool {
+        // Equality is structural; the transpose cache is derived state.
+        self.offsets == other.offsets
+            && self.targets == other.targets
+            && self.weights == other.weights
+    }
 }
 
 impl CsrGraph {
@@ -73,6 +98,7 @@ impl CsrGraph {
             offsets,
             targets: out_targets,
             weights: out_weights,
+            transpose_cache: OnceLock::new(),
         };
         g.sort_adjacency();
         Ok(g)
@@ -173,6 +199,17 @@ impl CsrGraph {
         CsrGraph::from_edge_list(el).expect("transpose endpoints are in range")
     }
 
+    /// The transposed graph, computed once per instance and shared by
+    /// reference afterwards. Kernels that need in-neighbours repeatedly
+    /// (pull PageRank every call, bottom-up BFS every level) amortize the
+    /// `O(V + E)` transpose across all invocations on the same graph.
+    pub fn transpose_cached(&self) -> Arc<CsrGraph> {
+        Arc::clone(
+            self.transpose_cache
+                .get_or_init(|| Arc::new(self.transpose())),
+        )
+    }
+
     /// Computes full structural statistics (degree distribution, approximate
     /// diameter); see [`GraphStats::measure`].
     pub fn stats(&self) -> GraphStats {
@@ -264,6 +301,19 @@ mod tests {
         assert_eq!(t.neighbors(0), &[] as &[VertexId]);
         // Transposing twice gives back the original.
         assert_eq!(t.transpose(), g);
+    }
+
+    #[test]
+    fn cached_transpose_matches_and_is_shared() {
+        let g = diamond();
+        let a = g.transpose_cached();
+        assert_eq!(*a, g.transpose());
+        let b = g.transpose_cached();
+        // Same allocation, not a recomputation.
+        assert!(Arc::ptr_eq(&a, &b));
+        // Clones do not inherit the cache but recompute identically.
+        let c = g.clone();
+        assert_eq!(*c.transpose_cached(), *a);
     }
 
     #[test]

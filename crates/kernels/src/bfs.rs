@@ -2,12 +2,43 @@
 //!
 //! BFS is the paper's canonical "Pareto-Division" (B3) workload: each level's
 //! frontier is divided among threads, with a global barrier between levels.
+//!
+//! Two traversal refinements on top of the persistent execution engine:
+//!
+//! * **Lock-free frontiers** — the next frontier is a
+//!   [`SharedFrontier`]: workers collect discoveries in per-worker local
+//!   buffers (pre-sized from degree statistics, reused across levels) and
+//!   flush each batch with a single atomic-cursor reservation. No lock is
+//!   taken anywhere in the level loop, and the two frontier buffers are
+//!   double-buffered across levels, so frontier storage is allocated once
+//!   per traversal.
+//! * **Direction optimization** (Beamer-style) — on sufficiently dense
+//!   graphs the traversal switches from top-down *push* (scan the frontier's
+//!   out-edges) to bottom-up *pull* (scan unvisited vertices' in-edges via
+//!   the cached transpose) when the frontier's edge count crosses
+//!   `unexplored / ALPHA`, and back once the frontier shrinks below
+//!   `V / BETA`. Power-law graphs stop paying the full push cost on the big
+//!   middle levels. Levels are direction-independent, so results stay
+//!   bit-identical with the sequential reference.
 
+use crate::frontier::SharedFrontier;
 use crate::par::Scheduler;
 use crate::UNREACHED;
 use heteromap_graph::{CsrGraph, VertexId};
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Mutex;
+
+/// Push→pull switch: go bottom-up when the frontier's out-edges exceed
+/// `unexplored_edges / ALPHA` (Beamer's α).
+const ALPHA: usize = 14;
+/// Pull→push switch: return top-down when the frontier shrinks below
+/// `vertex_count / BETA` (Beamer's β).
+const BETA: usize = 24;
+/// Direction optimization only pays off when pull levels can amortize the
+/// transpose and the dense-frontier scan: require this average degree.
+const DIR_OPT_MIN_AVG_DEGREE: f64 = 4.0;
+/// ... and at least this many vertices.
+const DIR_OPT_MIN_VERTICES: usize = 256;
 
 /// Runs parallel BFS from `source`, returning the level of every vertex
 /// (`UNREACHED` for unreachable vertices).
@@ -32,6 +63,13 @@ pub fn bfs(graph: &CsrGraph, source: VertexId, threads: usize) -> Vec<u32> {
     bfs_with(graph, source, threads, Scheduler::Static)
 }
 
+/// Whether [`bfs_with`] will use direction-optimizing traversal on `graph`
+/// (the density gate: dense enough that pull levels win, large enough to
+/// amortize the cached transpose).
+pub fn direction_optimizing(graph: &CsrGraph) -> bool {
+    graph.vertex_count() >= DIR_OPT_MIN_VERTICES && graph.average_degree() >= DIR_OPT_MIN_AVG_DEGREE
+}
+
 /// [`bfs`] with an explicit work-distribution policy for the frontier loop.
 pub fn bfs_with(
     graph: &CsrGraph,
@@ -41,14 +79,81 @@ pub fn bfs_with(
 ) -> Vec<u32> {
     let n = graph.vertex_count();
     assert!((source as usize) < n, "source out of bounds");
+    let threads = threads.max(1);
     let levels: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNREACHED)).collect();
     levels[source as usize].store(0, Ordering::Relaxed);
-    let mut frontier = vec![source];
+
+    // Double-buffered frontiers, allocated once and reused every level.
+    let mut cur = SharedFrontier::with_capacity(n);
+    let mut next = SharedFrontier::with_capacity(n);
+    cur.push_slice(&[source]);
+
+    // Per-worker discovery buffers, reused across levels. Pre-sized from
+    // degree statistics: a worker's static share of a full frontier emits at
+    // most `chunk * avg_degree` vertices in expectation, plus one hub.
+    let chunk = n.div_ceil(threads);
+    let avg_degree = graph.average_degree().ceil() as usize;
+    let local_capacity = chunk
+        .saturating_mul(avg_degree.max(1))
+        .saturating_add(graph.max_degree())
+        .min(n);
+    let locals: Vec<Mutex<Vec<u32>>> = (0..threads)
+        .map(|_| Mutex::new(Vec::with_capacity(local_capacity)))
+        .collect();
+
+    let dir_opt = direction_optimizing(graph);
+    let transpose = if dir_opt {
+        Some(graph.transpose_cached())
+    } else {
+        None
+    };
+
     let mut level = 0u32;
-    while !frontier.is_empty() {
-        let next = Mutex::new(Vec::with_capacity(frontier.len()));
-        scheduler.for_each(frontier.len(), threads, |range| {
-            let mut local = Vec::new();
+    let mut bottom_up = false;
+    // Edges not yet explored, for the α heuristic (an estimate: edges out of
+    // already-visited vertices are subtracted as their levels retire).
+    let mut unexplored_edges = graph.edge_count();
+    while !cur.is_empty() {
+        if let Some(transpose) = &transpose {
+            // Frontier out-edge volume drives the direction choice.
+            let frontier_edges: usize = cur.as_slice().iter().map(|&v| graph.out_degree(v)).sum();
+            if !bottom_up && frontier_edges * ALPHA > unexplored_edges {
+                bottom_up = true;
+            } else if bottom_up && cur.len() * BETA < n {
+                bottom_up = false;
+            }
+            unexplored_edges = unexplored_edges.saturating_sub(frontier_edges);
+            if bottom_up {
+                // Pull: every unvisited vertex scans its in-neighbours for a
+                // parent on the current level. Exactly one worker owns each
+                // vertex, so a plain store suffices.
+                scheduler.for_each_worker(n, threads, |worker, range| {
+                    let mut local = locals[worker].lock().unwrap_or_else(|e| e.into_inner());
+                    for v in range {
+                        if levels[v].load(Ordering::Relaxed) != UNREACHED {
+                            continue;
+                        }
+                        for &u in transpose.neighbors(v as VertexId) {
+                            if levels[u as usize].load(Ordering::Relaxed) == level {
+                                levels[v].store(level + 1, Ordering::Relaxed);
+                                local.push(v as u32);
+                                break;
+                            }
+                        }
+                    }
+                    next.push_slice(&local);
+                    local.clear();
+                });
+                std::mem::swap(&mut cur, &mut next);
+                next.clear();
+                level += 1;
+                continue;
+            }
+        }
+        // Push: divide the frontier, claim neighbours by CAS.
+        let frontier = cur.as_slice();
+        scheduler.for_each_worker(frontier.len(), threads, |worker, range| {
+            let mut local = locals[worker].lock().unwrap_or_else(|e| e.into_inner());
             for &v in &frontier[range] {
                 for &t in graph.neighbors(v) {
                     if levels[t as usize]
@@ -64,11 +169,11 @@ pub fn bfs_with(
                     }
                 }
             }
-            if !local.is_empty() {
-                next.lock().extend_from_slice(&local);
-            }
+            next.push_slice(&local);
+            local.clear();
         });
-        frontier = next.into_inner();
+        std::mem::swap(&mut cur, &mut next);
+        next.clear();
         level += 1;
     }
     levels.into_iter().map(AtomicU32::into_inner).collect()
@@ -99,6 +204,31 @@ mod tests {
     fn matches_sequential_on_power_law() {
         let g = PowerLaw::new(800, 4).generate(2);
         assert_eq!(bfs(&g, 10, 8), bfs_seq(&g, 10));
+    }
+
+    #[test]
+    fn direction_optimized_matches_sequential_on_dense_graphs() {
+        // Dense enough to pass the gate and trigger pull levels.
+        for seed in 0..3 {
+            let g = UniformRandom::new(600, 6_000).generate(seed);
+            assert!(direction_optimizing(&g), "gate should open: seed {seed}");
+            assert_eq!(bfs(&g, 0, 4), bfs_seq(&g, 0), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn sparse_graphs_stay_top_down() {
+        let g = Grid::new(30, 30).generate(0);
+        assert!(!direction_optimizing(&g));
+    }
+
+    #[test]
+    fn dynamic_scheduler_matches_static_on_dense_graphs() {
+        let g = UniformRandom::new(500, 5_000).generate(11);
+        assert_eq!(
+            bfs_with(&g, 0, 4, Scheduler::Dynamic { grain: 32 }),
+            bfs_with(&g, 0, 4, Scheduler::Static),
+        );
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Community detection by synchronous label propagation — FP scoring over
 //! read-write shared labels (B5 + B6 + B10 in Fig. 5).
 
+use crate::par::par_chunks_mut;
 use heteromap_graph::{CsrGraph, VertexId};
 use std::collections::HashMap;
 
@@ -19,30 +20,24 @@ pub fn community(graph: &CsrGraph, iterations: u32, threads: usize) -> Vec<u32> 
     for _ in 0..iterations {
         {
             let labels_ref = &labels;
-            let chunk = n.div_ceil(threads.max(1));
-            crossbeam::thread::scope(|s| {
-                for (t, next_chunk) in next.chunks_mut(chunk).enumerate() {
-                    s.spawn(move |_| {
-                        let mut weights: HashMap<u32, f32> = HashMap::new();
-                        for (off, nx) in next_chunk.iter_mut().enumerate() {
-                            let v = (t * chunk + off) as VertexId;
-                            weights.clear();
-                            for (u, w) in graph.edges(v) {
-                                *weights.entry(labels_ref[u as usize]).or_insert(0.0) += w;
-                            }
-                            let current = labels_ref[v as usize];
-                            let mut best = (current, f32::NEG_INFINITY);
-                            for (&label, &weight) in &weights {
-                                if weight > best.1 || (weight == best.1 && label < best.0) {
-                                    best = (label, weight);
-                                }
-                            }
-                            *nx = if weights.is_empty() { current } else { best.0 };
+            par_chunks_mut(&mut next, threads, |offset, next_chunk| {
+                let mut weights: HashMap<u32, f32> = HashMap::new();
+                for (off, nx) in next_chunk.iter_mut().enumerate() {
+                    let v = (offset + off) as VertexId;
+                    weights.clear();
+                    for (u, w) in graph.edges(v) {
+                        *weights.entry(labels_ref[u as usize]).or_insert(0.0) += w;
+                    }
+                    let current = labels_ref[v as usize];
+                    let mut best = (current, f32::NEG_INFINITY);
+                    for (&label, &weight) in &weights {
+                        if weight > best.1 || (weight == best.1 && label < best.0) {
+                            best = (label, weight);
                         }
-                    });
+                    }
+                    *nx = if weights.is_empty() { current } else { best.0 };
                 }
-            })
-            .expect("community worker panicked");
+            });
         }
         std::mem::swap(&mut labels, &mut next);
     }

@@ -1,0 +1,151 @@
+//! Lock-free shared frontier buffers for level-synchronous traversals.
+//!
+//! The seed's BFS funnelled every thread's discoveries through a
+//! `Mutex<Vec>` once per level; on power-law graphs whose middle levels hold
+//! most of the vertices, that lock serializes exactly the part of the
+//! traversal that should scale. [`SharedFrontier`] replaces it with a
+//! fixed-capacity buffer and a single atomic cursor: workers accumulate
+//! discoveries in per-worker local buffers and flush each batch with one
+//! `fetch_add` reservation followed by a plain memcpy into the reserved
+//! (disjoint) range. Two frontiers are double-buffered by the caller and
+//! reused across levels, so a whole BFS allocates its frontier storage once.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A fixed-capacity vertex buffer supporting concurrent lock-free appends
+/// from a parallel region and plain reads after the region's barrier.
+///
+/// Writes use a reserve-then-copy protocol: `fetch_add` on the cursor hands
+/// each flush a private range, so concurrent flushes never overlap. The
+/// caller must only read ([`SharedFrontier::as_slice`]) outside parallel
+/// regions that write — level-synchronous traversals get this for free from
+/// the barrier between levels.
+pub struct SharedFrontier {
+    buf: Box<[UnsafeCell<u32>]>,
+    len: AtomicUsize,
+}
+
+// SAFETY: concurrent `push_slice` calls write disjoint reserved ranges, and
+// reads only happen after the parallel region's barrier (which the thread
+// pool's mutex/condvar handshake turns into a happens-before edge).
+unsafe impl Sync for SharedFrontier {}
+
+impl std::fmt::Debug for SharedFrontier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedFrontier")
+            .field("len", &self.len())
+            .field("capacity", &self.buf.len())
+            .finish()
+    }
+}
+
+impl SharedFrontier {
+    /// Creates an empty frontier able to hold `capacity` vertices. For BFS
+    /// the capacity is the vertex count: every vertex enters a frontier at
+    /// most once.
+    pub fn with_capacity(capacity: usize) -> Self {
+        SharedFrontier {
+            buf: (0..capacity).map(|_| UnsafeCell::new(0)).collect(),
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of vertices currently in the frontier.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// Whether the frontier holds no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Resets the frontier to empty, keeping its allocation.
+    pub fn clear(&mut self) {
+        *self.len.get_mut() = 0;
+    }
+
+    /// Appends `items` atomically: one cursor reservation, one copy.
+    /// Callable concurrently from many workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reservation would exceed capacity (a kernel bug — BFS
+    /// admits each vertex at most once, bounding the total by capacity).
+    pub fn push_slice(&self, items: &[u32]) {
+        if items.is_empty() {
+            return;
+        }
+        let at = self.len.fetch_add(items.len(), Ordering::Relaxed);
+        assert!(
+            at + items.len() <= self.buf.len(),
+            "frontier overflow: {} + {} > {}",
+            at,
+            items.len(),
+            self.buf.len()
+        );
+        for (slot, &item) in self.buf[at..at + items.len()].iter().zip(items) {
+            // SAFETY: `at..at + items.len()` is exclusively ours via the
+            // cursor reservation above.
+            unsafe { *slot.get() = item };
+        }
+    }
+
+    /// The frontier's contents. Only sound outside parallel regions that
+    /// push (BFS reads the *previous* level's frontier, which no worker
+    /// writes).
+    pub fn as_slice(&self) -> &[u32] {
+        let len = self.len().min(self.buf.len());
+        // SAFETY: `UnsafeCell<u32>` and `u32` share layout; no writer is
+        // active per this method's contract, and `0..len` is initialized.
+        unsafe { std::slice::from_raw_parts(self.buf.as_ptr() as *const u32, len) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::par::run_threads;
+
+    #[test]
+    fn concurrent_pushes_preserve_every_item() {
+        let frontier = SharedFrontier::with_capacity(8 * 100);
+        run_threads(8, |t| {
+            let items: Vec<u32> = (0..100).map(|i| (t * 100 + i) as u32).collect();
+            // Flush in uneven batches to exercise the cursor.
+            for batch in items.chunks(7) {
+                frontier.push_slice(batch);
+            }
+        });
+        let mut seen: Vec<u32> = frontier.as_slice().to_vec();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..800).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn clear_retains_capacity_and_resets_len() {
+        let mut frontier = SharedFrontier::with_capacity(16);
+        frontier.push_slice(&[1, 2, 3]);
+        assert_eq!(frontier.len(), 3);
+        frontier.clear();
+        assert!(frontier.is_empty());
+        frontier.push_slice(&[9; 16]);
+        assert_eq!(frontier.as_slice(), &[9; 16]);
+    }
+
+    #[test]
+    fn empty_push_is_noop() {
+        let frontier = SharedFrontier::with_capacity(0);
+        frontier.push_slice(&[]);
+        assert!(frontier.is_empty());
+        assert_eq!(frontier.as_slice(), &[] as &[u32]);
+    }
+
+    #[test]
+    #[should_panic(expected = "frontier overflow")]
+    fn overflow_panics() {
+        let frontier = SharedFrontier::with_capacity(2);
+        frontier.push_slice(&[1, 2, 3]);
+    }
+}

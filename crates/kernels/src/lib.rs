@@ -1,8 +1,8 @@
 //! Real multithreaded graph-analytics kernels.
 //!
 //! The paper's benchmarks come from CRONO, GAP, MiBench, Rodinia and
-//! Pannotia; this crate reimplements the nine evaluated kernels in safe Rust
-//! with `crossbeam` scoped threads, so the reproduction can execute the
+//! Pannotia; this crate reimplements the nine evaluated kernels in Rust on a
+//! persistent worker-thread [`pool`], so the reproduction can execute the
 //! actual algorithms on host hardware (the accelerator *performance* numbers
 //! come from `heteromap-accel`'s simulator — see DESIGN.md §2 — but
 //! correctness, thread-count scaling and the algorithms themselves are real):
@@ -17,6 +17,10 @@
 //! * [`community`] — community detection by label propagation,
 //! * [`verify`] — sequential reference implementations used in tests,
 //! * [`runner`] — uniform dispatch used by examples and benches.
+//!
+//! The execution engine lives in [`pool`] (long-lived parked workers,
+//! spawned once per process) and [`frontier`] (lock-free shared frontier
+//! buffers); [`par`] exposes the schedulers and the engine toggle.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -25,15 +29,18 @@ pub mod bfs;
 pub mod community;
 pub mod conncomp;
 pub mod dfs;
+pub mod frontier;
 pub mod pagerank;
 pub mod pagerank_dp;
 pub mod par;
+pub mod pool;
 pub mod runner;
 pub mod sssp_bf;
 pub mod sssp_delta;
 pub mod triangle;
 pub mod verify;
 
+pub use par::ExecEngine;
 pub use runner::{KernelOutput, KernelRunner};
 
 /// Distance value used by the shortest-path kernels.

@@ -1,9 +1,9 @@
 //! Pull-based PageRank — FP-heavy vertex division with a convergence
 //! reduction (B1 + B5 + B6 in Fig. 5).
 
-use crate::par::par_ranges;
+use crate::par::{atomic_add_f64, par_chunks_mut, par_ranges};
 use heteromap_graph::{CsrGraph, VertexId};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::AtomicU64;
 
 /// Damping factor used by all PageRank kernels (the standard 0.85).
 pub const DAMPING: f64 = 0.85;
@@ -14,12 +14,14 @@ pub const DAMPING: f64 = 0.85;
 /// Pull formulation: each vertex gathers `rank[u] / out_deg(u)` over its
 /// in-neighbours — read-only sharing (B9), no atomics in the inner loop.
 /// Dangling-vertex mass is redistributed uniformly via a parallel reduction.
+/// The in-neighbour view comes from the graph's cached transpose, so
+/// repeated PageRank calls on one graph pay the `O(V + E)` transpose once.
 pub fn pagerank(graph: &CsrGraph, iterations: u32, threads: usize) -> Vec<f64> {
     let n = graph.vertex_count();
     if n == 0 {
         return Vec::new();
     }
-    let transpose = graph.transpose();
+    let transpose = graph.transpose_cached();
     let out_deg: Vec<usize> = (0..n).map(|v| graph.out_degree(v as VertexId)).collect();
     let mut rank = vec![1.0 / n as f64; n];
     let mut next = vec![0.0f64; n];
@@ -27,48 +29,22 @@ pub fn pagerank(graph: &CsrGraph, iterations: u32, threads: usize) -> Vec<f64> {
         // Reduction: dangling mass (B5 phase).
         let dangling_bits = AtomicU64::new(0.0f64.to_bits());
         par_ranges(n, threads, |range| {
-            let local: f64 = range
-                .clone()
-                .filter(|&v| out_deg[v] == 0)
-                .map(|v| rank[v])
-                .sum();
-            // f64 atomic add via CAS.
-            let mut cur = dangling_bits.load(Ordering::Relaxed);
-            loop {
-                let new = (f64::from_bits(cur) + local).to_bits();
-                match dangling_bits.compare_exchange_weak(
-                    cur,
-                    new,
-                    Ordering::Relaxed,
-                    Ordering::Relaxed,
-                ) {
-                    Ok(_) => break,
-                    Err(actual) => cur = actual,
-                }
-            }
+            let local: f64 = range.filter(|&v| out_deg[v] == 0).map(|v| rank[v]).sum();
+            atomic_add_f64(&dangling_bits, local);
         });
         let dangling = f64::from_bits(dangling_bits.into_inner()) / n as f64;
-        // Vertex-division gather phase (B1): each thread owns a disjoint
+        // Vertex-division gather phase (B1): each worker owns a disjoint
         // slice of `next`, so no synchronization is needed.
-        let chunk = n.div_ceil(threads.max(1));
-        crossbeam::thread::scope(|s| {
-            for (t, next_chunk) in next.chunks_mut(chunk).enumerate() {
-                let rank = &rank;
-                let out_deg = &out_deg;
-                let transpose = &transpose;
-                s.spawn(move |_| {
-                    for (off, nx) in next_chunk.iter_mut().enumerate() {
-                        let v = t * chunk + off;
-                        let mut sum = 0.0;
-                        for &u in transpose.neighbors(v as VertexId) {
-                            sum += rank[u as usize] / out_deg[u as usize] as f64;
-                        }
-                        *nx = (1.0 - DAMPING) / n as f64 + DAMPING * (sum + dangling);
-                    }
-                });
+        par_chunks_mut(&mut next, threads, |offset, next_chunk| {
+            for (off, nx) in next_chunk.iter_mut().enumerate() {
+                let v = offset + off;
+                let mut sum = 0.0;
+                for &u in transpose.neighbors(v as VertexId) {
+                    sum += rank[u as usize] / out_deg[u as usize] as f64;
+                }
+                *nx = (1.0 - DAMPING) / n as f64 + DAMPING * (sum + dangling);
             }
-        })
-        .expect("pagerank worker panicked");
+        });
         std::mem::swap(&mut rank, &mut next);
     }
     rank

@@ -16,7 +16,8 @@ fn main() {
         .unwrap_or(1_600);
     let system = MultiAcceleratorSystem::primary();
     eprintln!("generating {max_samples}-sample training database...");
-    let full = Trainer::new(system.clone()).generate_database(max_samples, 42);
+    let full =
+        heteromap_bench::load_or_generate_database(&Trainer::new(system.clone()), max_samples, 42);
     let evaluator = Evaluator::new(system, Objective::Performance);
 
     println!("Ablation: network width x training-set size\n");

@@ -14,7 +14,7 @@ fn main() {
         .unwrap_or(400);
     let system = MultiAcceleratorSystem::primary();
     eprintln!("generating {samples}-sample training database...");
-    let db = Trainer::new(system.clone()).generate_database(samples, 42);
+    let db = heteromap_bench::load_or_generate_database(&Trainer::new(system.clone()), samples, 42);
     let evaluator = Evaluator::new(system, Objective::Performance);
 
     println!("Ablation: regression order sweep (paper: 7th order fits best)\n");

@@ -1,0 +1,210 @@
+//! **Serving throughput**: the prediction-serving engine's cached and
+//! batched paths vs the uncached per-request baseline.
+//!
+//! A long-running serving process answers repeated `(B, I)` queries; the
+//! paper's 0.1-increment grid makes that key space finite, so a placement
+//! cache converts most requests from a neural forward pass into a hash
+//! lookup plus the deterministic analytic deploy. This experiment serves a
+//! mixed stream over every (workload, dataset) combination — with repeats,
+//! so the cache warms like a real deployment — across serving modes and
+//! thread counts, and reports requests/second, the cached-vs-uncached
+//! speedup, hit rates and latency percentiles. Results are written to
+//! `BENCH_serve.json`.
+//!
+//! Pass `--quick` for a CI-sized run (fewer repeats, one thread count).
+
+use heteromap::HeteroMap;
+use heteromap_accel::system::MultiAcceleratorSystem;
+use heteromap_bench::{all_combos, TextTable};
+use heteromap_graph::GraphStats;
+use heteromap_model::Workload;
+use heteromap_predict::nn::TrainConfig;
+use heteromap_predict::persist::{read_model, write_model, PersistedModel};
+use heteromap_predict::predictor::Objective;
+use heteromap_predict::{NeuralPredictor, Trainer};
+use heteromap_serve::{ServeConfig, ServeEngine, ServeMode};
+
+struct Row {
+    mode: ServeMode,
+    threads: usize,
+    throughput_rps: f64,
+    hit_rate: f64,
+    mean_batch: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+fn mode_tag(mode: ServeMode) -> &'static str {
+    match mode {
+        ServeMode::Uncached => "uncached",
+        ServeMode::Cached => "cached",
+        ServeMode::CachedBatched => "cached+batched",
+    }
+}
+
+/// Serves the stream on a fresh engine and returns the measured row.
+fn run_mode(
+    model: impl Fn() -> HeteroMap,
+    mode: ServeMode,
+    requests: &[(Workload, GraphStats)],
+    threads: usize,
+) -> Row {
+    let engine = ServeEngine::new(model(), ServeConfig::with_mode(mode));
+    let report = engine.run_closed_loop(requests, threads);
+    let snap = engine.metrics().snapshot();
+    Row {
+        mode,
+        threads,
+        throughput_rps: report.throughput_rps,
+        hit_rate: if snap.cache_hit_rate.is_nan() {
+            0.0
+        } else {
+            snap.cache_hit_rate
+        },
+        mean_batch: if snap.mean_batch_size.is_nan() {
+            0.0
+        } else {
+            snap.mean_batch_size
+        },
+        p50_ms: snap.schedule_p50_ms,
+        p99_ms: snap.schedule_p99_ms,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let repeats = if quick { 4 } else { 24 };
+    let thread_counts: &[usize] = if quick { &[4] } else { &[1, 4, 16] };
+
+    // The mixed 81-combination stream: every (workload, dataset) pair,
+    // interleaved, repeated so the cache warms like a real serving process.
+    let combos: Vec<(Workload, GraphStats)> = all_combos()
+        .into_iter()
+        .map(|(w, d)| (w, d.stats()))
+        .collect();
+    let requests: Vec<(Workload, GraphStats)> = (0..combos.len() * repeats)
+        .map(|idx| combos[(idx * 7) % combos.len()])
+        .collect();
+
+    // One offline training run; every engine reloads the same persisted
+    // weights, so the comparison isolates the serving path.
+    println!("training Deep.128 once (shared across modes)...");
+    let system = MultiAcceleratorSystem::primary();
+    let trainer = Trainer::new(system.clone()).with_objective(Objective::Performance);
+    let db = trainer.generate_database(if quick { 60 } else { 300 }, 42);
+    let nn = NeuralPredictor::train(
+        &db,
+        TrainConfig {
+            hidden: 128,
+            seed: 42,
+            ..TrainConfig::default()
+        },
+    );
+    let mut weights = Vec::new();
+    write_model(&PersistedModel::Nn(nn), &mut weights).expect("serialize trained model");
+    let model = || {
+        let PersistedModel::Nn(nn) = read_model(weights.as_slice()).expect("reload trained model")
+        else {
+            panic!("expected a neural model");
+        };
+        HeteroMap::new(system.clone(), Box::new(nn))
+    };
+
+    println!(
+        "serving {} requests over {} combinations ({} repeats){}\n",
+        requests.len(),
+        combos.len(),
+        repeats,
+        if quick { " [quick]" } else { "" },
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    for &threads in thread_counts {
+        for mode in [
+            ServeMode::Uncached,
+            ServeMode::Cached,
+            ServeMode::CachedBatched,
+        ] {
+            let row = run_mode(model, mode, &requests, threads);
+            println!(
+                "{:>14} x{:<2} {:>12.0} req/s  hit {:>5.1}%  p50 {:.4} ms  p99 {:.4} ms",
+                mode_tag(row.mode),
+                row.threads,
+                row.throughput_rps,
+                row.hit_rate * 100.0,
+                row.p50_ms,
+                row.p99_ms,
+            );
+            rows.push(row);
+        }
+    }
+
+    let mut table = TextTable::new([
+        "mode",
+        "threads",
+        "req/s",
+        "hit rate",
+        "mean batch",
+        "p50 ms",
+        "p99 ms",
+        "vs uncached",
+    ]);
+    let mut speedups: Vec<(usize, &'static str, f64)> = Vec::new();
+    for r in &rows {
+        let baseline = rows
+            .iter()
+            .find(|b| b.threads == r.threads && b.mode == ServeMode::Uncached)
+            .expect("uncached baseline per thread count");
+        let speedup = r.throughput_rps / baseline.throughput_rps;
+        if r.mode != ServeMode::Uncached {
+            speedups.push((r.threads, mode_tag(r.mode), speedup));
+        }
+        table.row([
+            mode_tag(r.mode).to_string(),
+            r.threads.to_string(),
+            format!("{:.0}", r.throughput_rps),
+            format!("{:.1}%", r.hit_rate * 100.0),
+            format!("{:.1}", r.mean_batch),
+            format!("{:.4}", r.p50_ms),
+            format!("{:.4}", r.p99_ms),
+            format!("{speedup:.2}x"),
+        ]);
+    }
+    println!("\n{}", table.render());
+
+    let best_cached = speedups.iter().map(|(_, _, s)| *s).fold(0.0f64, f64::max);
+    println!("best cached-vs-uncached throughput speedup: {best_cached:.2}x");
+    if best_cached < 5.0 {
+        // The acceptance bar for the serving subsystem; don't fail the
+        // bench (CI machines vary), but flag it loudly.
+        println!("WARNING: below the 5x serving-speedup target");
+    }
+
+    // Hand-rolled JSON (no serde_json in the offline workspace).
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"serve_throughput\",\n");
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str(&format!("  \"requests\": {},\n", requests.len()));
+    json.push_str(&format!("  \"combinations\": {},\n", combos.len()));
+    json.push_str(&format!("  \"repeats\": {repeats},\n"));
+    json.push_str(&format!("  \"best_cached_speedup\": {best_cached:.4},\n"));
+    json.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"threads\": {}, \"throughput_rps\": {:.2}, \
+             \"hit_rate\": {:.4}, \"mean_batch_size\": {:.2}, \
+             \"p50_ms\": {:.6}, \"p99_ms\": {:.6}}}{}\n",
+            mode_tag(r.mode),
+            r.threads,
+            r.throughput_rps,
+            r.hit_rate,
+            r.mean_batch,
+            r.p50_ms,
+            r.p99_ms,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    println!("wrote BENCH_serve.json ({} result rows)", rows.len());
+}

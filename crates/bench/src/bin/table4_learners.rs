@@ -20,10 +20,14 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(600);
-    eprintln!("training database: {samples} autotuned synthetic combinations...");
+    eprintln!(
+        "training database: {samples} autotuned synthetic combinations \
+         (or set {} to reuse a persisted one)...",
+        heteromap_bench::DB_ENV_VAR
+    );
     let system = MultiAcceleratorSystem::primary();
     let trainer = Trainer::new(system.clone());
-    let db = trainer.generate_database(samples, 42);
+    let db = heteromap_bench::load_or_generate_database(&trainer, samples, 42);
     eprintln!("database ready; training learners...");
 
     let tree = DecisionTree::paper();

@@ -12,6 +12,39 @@ pub mod harness;
 
 use heteromap_graph::datasets::Dataset;
 use heteromap_model::Workload;
+use heteromap_predict::persist::read_database_file_lenient;
+use heteromap_predict::{Trainer, TrainingSet};
+
+/// Environment variable naming a persisted profiler database to reuse in
+/// place of regenerating synthetic training data.
+pub const DB_ENV_VAR: &str = "HETEROMAP_DB";
+
+/// Obtains a training database for a bench binary or example.
+///
+/// When [`DB_ENV_VAR`] names a persisted profiler database, it is read
+/// *leniently* and any skipped corrupt rows are reported on stderr — a
+/// silently shrunken database would misattribute learner quality to clean
+/// data. Otherwise `samples` autotuned synthetic combinations are generated
+/// with `trainer` (the Fig. 9 flow).
+///
+/// # Panics
+///
+/// Panics if the named file cannot be opened or is not a profiler database
+/// at all (individually corrupt rows are skipped, not fatal).
+pub fn load_or_generate_database(trainer: &Trainer, samples: usize, seed: u64) -> TrainingSet {
+    match std::env::var(DB_ENV_VAR) {
+        Ok(path) if !path.is_empty() => {
+            let lenient = read_database_file_lenient(&path)
+                .unwrap_or_else(|e| panic!("{DB_ENV_VAR}={path}: {e}"));
+            if let Some(summary) = lenient.skip_summary() {
+                eprintln!("warning: {path}: {summary}");
+            }
+            eprintln!("loaded {} rows from {path}", lenient.set.len());
+            lenient.set
+        }
+        _ => trainer.generate_database(samples, seed),
+    }
+}
 
 /// Geometric mean of positive values (the paper's aggregate of choice).
 ///

@@ -173,14 +173,38 @@ impl HeteroMap {
     /// attempt.
     pub fn schedule_context(&self, ctx: &WorkloadContext) -> Placement {
         // Step 1: discretize the input into I variables.
-        let i = IVector::from_stats(&ctx.stats, &self.maxima, self.grid);
+        let i = self.ivector(&ctx.stats);
         // Step 2: predict M choices (timed — the overhead is charged to the
         // completion time, §V-A), falling down the predictor chain if the
         // prediction is not deployable.
         let start = Instant::now();
-        let (config, predictor_fallbacks) = self.predict_feasible(&ctx.b, &i);
+        let (config, predictor_fallbacks) = self.predict_config(&ctx.b, &i);
         let overhead_ms = start.elapsed().as_secs_f64() * 1e3;
+        self.deploy_predicted(ctx, config, overhead_ms, predictor_fallbacks)
+    }
 
+    /// Discretizes raw input statistics into the `I` variables with this
+    /// instance's maxima and grid (Fig. 8 step 1 in isolation — the serving
+    /// layer uses it to form cache keys).
+    pub fn ivector(&self, stats: &GraphStats) -> IVector {
+        IVector::from_stats(stats, &self.maxima, self.grid)
+    }
+
+    /// Step 3 in isolation: deploys an already-predicted configuration,
+    /// charging `overhead_ms` of predictor cost into the completion time
+    /// (§V-A). `predictor_fallbacks` is recorded in the attempt log.
+    ///
+    /// [`HeteroMap::schedule_context`] is `predict_config` + this; callers
+    /// that obtain configurations elsewhere (a placement cache, a batched
+    /// predictor) use it directly, and a deterministic `overhead_ms` makes
+    /// the returned placement fully deterministic.
+    pub fn deploy_predicted(
+        &self,
+        ctx: &WorkloadContext,
+        config: MConfig,
+        overhead_ms: f64,
+        predictor_fallbacks: u32,
+    ) -> Placement {
         if self.system.faults().is_all_healthy() && self.retry.attempt_timeout_ms.is_infinite() {
             // Fast path — bit-identical to the infallible seed flow.
             let mut report = self.system.deploy(ctx, &config);
@@ -197,12 +221,30 @@ impl HeteroMap {
         self.schedule_resilient(ctx, config, overhead_ms, predictor_fallbacks)
     }
 
-    /// Predictor fallback chain: the trained/installed predictor first, the
-    /// §IV decision tree if that prediction is undeployable (NaN/∞), and a
-    /// static default as the unconditional last resort. Returns the chosen
-    /// configuration and how many fallback steps were taken.
-    fn predict_feasible(&self, b: &BVector, i: &IVector) -> (MConfig, u32) {
-        let config = self.predictor.predict(b, i);
+    /// Predictor fallback chain (Fig. 8 step 2 in isolation): the
+    /// trained/installed predictor first, the §IV decision tree if that
+    /// prediction is undeployable (NaN/∞), and a static default as the
+    /// unconditional last resort. Returns the chosen configuration and how
+    /// many fallback steps were taken.
+    pub fn predict_config(&self, b: &BVector, i: &IVector) -> (MConfig, u32) {
+        self.rescue_infeasible(self.predictor.predict(b, i), b, i)
+    }
+
+    /// Batched form of [`HeteroMap::predict_config`]: one
+    /// [`Predictor::predict_batch`] call covers every query (a single
+    /// matrix-matrix forward pass for the neural predictor), then each
+    /// result falls down the same feasibility chain. Outputs are
+    /// bit-identical to per-query `predict_config`.
+    pub fn predict_configs(&self, queries: &[(BVector, IVector)]) -> Vec<(MConfig, u32)> {
+        self.predictor
+            .predict_batch(queries)
+            .into_iter()
+            .zip(queries)
+            .map(|(config, (b, i))| self.rescue_infeasible(config, b, i))
+            .collect()
+    }
+
+    fn rescue_infeasible(&self, config: MConfig, b: &BVector, i: &IVector) -> (MConfig, u32) {
         if config_is_feasible(&config) {
             return (config, 0);
         }
@@ -211,6 +253,28 @@ impl HeteroMap {
             return (config, 1);
         }
         (StaticDefault::default().predict(b, i), 2)
+    }
+
+    /// The installed predictor (the serving layer reads its
+    /// [`Predictor::inference_flops`] to charge deterministic overhead).
+    pub fn predictor(&self) -> &(dyn Predictor + Send + Sync) {
+        self.predictor.as_ref()
+    }
+
+    /// Replaces the fault plan in place (the predictor and its training are
+    /// untouched). Serving layers must invalidate any cached placements
+    /// after this — the same configuration can deploy differently under the
+    /// new plan.
+    pub fn set_fault_plan(&mut self, plan: heteromap_accel::FaultPlan) {
+        self.system = self.system.clone().with_faults(plan);
+    }
+
+    /// Replaces the predictor in place (§VII-D re-learns models per
+    /// accelerator change; a serving process swaps in the re-trained model
+    /// without rebuilding the system). Serving layers must invalidate
+    /// cached placements afterwards.
+    pub fn set_predictor(&mut self, predictor: Box<dyn Predictor + Send + Sync>) {
+        self.predictor = predictor;
     }
 
     /// The resilient deploy loop: retry transients with backoff on the

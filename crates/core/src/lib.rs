@@ -48,5 +48,6 @@ pub mod report;
 pub mod resilient;
 
 pub use framework::HeteroMap;
+pub use online::stream_with;
 pub use report::{Placement, StreamReport};
 pub use resilient::{AttemptLog, AttemptOutcome, AttemptRecord, RetryPolicy, StaticDefault};

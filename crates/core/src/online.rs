@@ -15,6 +15,66 @@ use heteromap_model::Workload;
 /// that exceed memory even at single-vertex granularity).
 const MAX_RESTREAM_DEPTH: u32 = 16;
 
+/// Streams `graph` through byte-budgeted chunks, calling `schedule` on each
+/// chunk's measured statistics and applying the OOM re-stream policy (halve
+/// the budget, recurse, up to [`MAX_RESTREAM_DEPTH`] halvings).
+///
+/// This is the chunking/re-streaming driver behind
+/// [`HeteroMap::schedule_stream`], factored out so alternative schedulers —
+/// the prediction-serving engine's cached path, instrumented wrappers — can
+/// reuse the exact same streaming semantics with their own per-chunk
+/// scheduling function.
+pub fn stream_with<F>(graph: &CsrGraph, chunk_byte_budget: usize, schedule: &mut F) -> StreamReport
+where
+    F: FnMut(&heteromap_graph::GraphStats) -> Placement,
+{
+    let mut chunks = Vec::new();
+    let mut restreams = 0u32;
+    stream_into(
+        graph,
+        chunk_byte_budget,
+        0,
+        schedule,
+        &mut chunks,
+        &mut restreams,
+    );
+    StreamReport { chunks, restreams }
+}
+
+fn stream_into<F>(
+    graph: &CsrGraph,
+    chunk_byte_budget: usize,
+    depth: u32,
+    schedule: &mut F,
+    chunks: &mut Vec<Placement>,
+    restreams: &mut u32,
+) where
+    F: FnMut(&heteromap_graph::GraphStats) -> Placement,
+{
+    let stream = GraphStream::with_byte_budget(graph, chunk_byte_budget);
+    for chunk in stream.iter() {
+        let placement = schedule(&chunk.stats);
+        let oom = placement
+            .attempts
+            .records
+            .iter()
+            .any(|r| matches!(r.outcome, AttemptOutcome::OutOfMemory { .. }));
+        if oom && !placement.completed() && depth < MAX_RESTREAM_DEPTH && chunk_byte_budget > 1 {
+            *restreams += 1;
+            stream_into(
+                &chunk.graph,
+                chunk_byte_budget / 2,
+                depth + 1,
+                schedule,
+                chunks,
+                restreams,
+            );
+        } else {
+            chunks.push(placement);
+        }
+    }
+}
+
 impl HeteroMap {
     /// Streams `graph` through byte-budgeted chunks, predicting and
     /// deploying per-chunk machine choices.
@@ -34,51 +94,9 @@ impl HeteroMap {
         graph: &CsrGraph,
         chunk_byte_budget: usize,
     ) -> StreamReport {
-        let mut chunks = Vec::new();
-        let mut restreams = 0u32;
-        self.stream_into(
-            workload,
-            graph,
-            chunk_byte_budget,
-            0,
-            &mut chunks,
-            &mut restreams,
-        );
-        StreamReport { chunks, restreams }
-    }
-
-    fn stream_into(
-        &self,
-        workload: Workload,
-        graph: &CsrGraph,
-        chunk_byte_budget: usize,
-        depth: u32,
-        chunks: &mut Vec<Placement>,
-        restreams: &mut u32,
-    ) {
-        let stream = GraphStream::with_byte_budget(graph, chunk_byte_budget);
-        for chunk in stream.iter() {
-            let placement = self.schedule_stats(workload, chunk.stats);
-            let oom = placement
-                .attempts
-                .records
-                .iter()
-                .any(|r| matches!(r.outcome, AttemptOutcome::OutOfMemory { .. }));
-            if oom && !placement.completed() && depth < MAX_RESTREAM_DEPTH && chunk_byte_budget > 1
-            {
-                *restreams += 1;
-                self.stream_into(
-                    workload,
-                    &chunk.graph,
-                    chunk_byte_budget / 2,
-                    depth + 1,
-                    chunks,
-                    restreams,
-                );
-            } else {
-                chunks.push(placement);
-            }
-        }
+        stream_with(graph, chunk_byte_budget, &mut |stats| {
+            self.schedule_stats(workload, *stats)
+        })
     }
 }
 

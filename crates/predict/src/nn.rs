@@ -15,18 +15,38 @@ use serde::{Deserialize, Serialize};
 
 /// One fully-connected layer with sigmoid activation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-struct Layer {
-    inputs: usize,
-    outputs: usize,
+pub(crate) struct Layer {
+    pub(crate) inputs: usize,
+    pub(crate) outputs: usize,
     /// Row-major `outputs × inputs`.
-    weights: Vec<f64>,
-    biases: Vec<f64>,
+    pub(crate) weights: Vec<f64>,
+    pub(crate) biases: Vec<f64>,
     /// Momentum buffers.
-    w_vel: Vec<f64>,
-    b_vel: Vec<f64>,
+    pub(crate) w_vel: Vec<f64>,
+    pub(crate) b_vel: Vec<f64>,
 }
 
 impl Layer {
+    /// Rebuilds a trained layer from persisted weights (velocities reset —
+    /// they are training state, not inference state).
+    pub(crate) fn from_parts(
+        inputs: usize,
+        outputs: usize,
+        weights: Vec<f64>,
+        biases: Vec<f64>,
+    ) -> Self {
+        assert_eq!(weights.len(), inputs * outputs, "weight matrix shape");
+        assert_eq!(biases.len(), outputs, "bias vector shape");
+        Layer {
+            inputs,
+            outputs,
+            w_vel: vec![0.0; weights.len()],
+            b_vel: vec![0.0; biases.len()],
+            weights,
+            biases,
+        }
+    }
+
     fn new(inputs: usize, outputs: usize, rng: &mut StdRng) -> Self {
         // Xavier-style init.
         let scale = (2.0 / (inputs + outputs) as f64).sqrt();
@@ -203,9 +223,47 @@ impl NeuralPredictor {
         cur
     }
 
+    /// Batched forward pass: one sweep over each layer's weight matrix
+    /// serves every row (a naive matrix-matrix product, weight-row-major so
+    /// each row of the matrix is loaded once per layer instead of once per
+    /// sample).
+    ///
+    /// Per-element accumulation order matches [`NeuralPredictor::forward`]
+    /// exactly, so the outputs are bit-identical to per-sample inference —
+    /// the property the serving layer's batched path relies on.
+    fn forward_batch(&self, xs: &[[f64; BI_DIM]]) -> Vec<Vec<f64>> {
+        let mut cur: Vec<Vec<f64>> = xs.iter().map(|x| x.to_vec()).collect();
+        for layer in &self.layers {
+            let mut next: Vec<Vec<f64>> = vec![vec![0.0; layer.outputs]; cur.len()];
+            for (o, (row, bias)) in layer
+                .weights
+                .chunks_exact(layer.inputs)
+                .zip(layer.biases.iter())
+                .enumerate()
+            {
+                for (x, out) in cur.iter().zip(next.iter_mut()) {
+                    let z: f64 = row.iter().zip(x.iter()).map(|(w, xi)| w * xi).sum::<f64>() + bias;
+                    out[o] = sigmoid(z);
+                }
+            }
+            cur = next;
+        }
+        cur
+    }
+
     /// Approximate multiply count per inference (overhead analysis).
     pub fn flops_per_inference(&self) -> usize {
         self.layers.iter().map(|l| l.inputs * l.outputs).sum()
+    }
+
+    /// The trained layers (persistence support).
+    pub(crate) fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Rebuilds a predictor from persisted layers.
+    pub(crate) fn from_layers(name: String, layers: Vec<Layer>) -> Self {
+        NeuralPredictor { name, layers }
     }
 }
 
@@ -219,6 +277,22 @@ impl Predictor for NeuralPredictor {
         let mut arr = [0.0; M_DIM];
         arr.copy_from_slice(&out);
         MConfig::from_array(arr)
+    }
+
+    fn predict_batch(&self, queries: &[(BVector, IVector)]) -> Vec<MConfig> {
+        let xs: Vec<[f64; BI_DIM]> = queries.iter().map(|(b, i)| features(b, i)).collect();
+        self.forward_batch(&xs)
+            .into_iter()
+            .map(|out| {
+                let mut arr = [0.0; M_DIM];
+                arr.copy_from_slice(&out);
+                MConfig::from_array(arr)
+            })
+            .collect()
+    }
+
+    fn inference_flops(&self) -> usize {
+        self.flops_per_inference()
     }
 }
 
@@ -338,6 +412,55 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn empty_set_panics() {
         let _ = NeuralPredictor::train(&TrainingSet::new(), TrainConfig::default());
+    }
+
+    #[test]
+    fn batched_forward_is_bit_identical_to_single() {
+        let set = toy_set();
+        let nn = NeuralPredictor::train(
+            &set,
+            TrainConfig {
+                hidden: 16,
+                epochs: 20,
+                ..TrainConfig::default()
+            },
+        );
+        let queries: Vec<(BVector, IVector)> = set.samples().iter().map(|s| (s.b, s.i)).collect();
+        let batched = nn.predict_batch(&queries);
+        assert_eq!(batched.len(), queries.len());
+        for ((b, i), batch_cfg) in queries.iter().zip(&batched) {
+            let single = nn.predict(b, i);
+            assert_eq!(single.as_array(), batch_cfg.as_array(), "bitwise equal");
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let set = toy_set();
+        let nn = NeuralPredictor::train(
+            &set,
+            TrainConfig {
+                hidden: 16,
+                epochs: 1,
+                ..TrainConfig::default()
+            },
+        );
+        assert!(nn.predict_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn inference_flops_matches_flops_per_inference() {
+        let set = toy_set();
+        let nn = NeuralPredictor::train(
+            &set,
+            TrainConfig {
+                hidden: 16,
+                epochs: 1,
+                ..TrainConfig::default()
+            },
+        );
+        assert_eq!(Predictor::inference_flops(&nn), nn.flops_per_inference());
+        assert!(nn.flops_per_inference() > 0);
     }
 
     #[test]

@@ -1,20 +1,34 @@
-//! File persistence for the profiler database.
+//! File persistence for the profiler database and trained models.
 //!
 //! §V: the offline phase "creates a profiler database of B, I, M tuples
 //! residing in the CPU file system". This module serializes a
 //! [`TrainingSet`] to a line-oriented text format (one row per tuple) and
 //! back, with no dependencies beyond std — human-inspectable like the
 //! paper's database dumps.
+//!
+//! The same versioned line-oriented format family covers **trained
+//! models**: [`write_model`] / [`read_model`] persist a [`NeuralPredictor`]
+//! (layer shapes + weights + biases) or a [`DecisionTree`] (threshold +
+//! grid), so a serving process can load a model trained offline instead of
+//! retraining at startup. Rust's `f64` `Display` emits the shortest
+//! round-trippable representation, so loaded models predict bit-identically
+//! to the originals.
 
-use crate::predictor::{TrainingSample, TrainingSet};
+use crate::decision_tree::DecisionTree;
+use crate::nn::{Layer, NeuralPredictor};
+use crate::predictor::{Predictor, TrainingSample, TrainingSet};
 use heteromap_graph::GraphStats;
 use heteromap_model::workload::IterationModel;
-use heteromap_model::{BVector, IVector, MConfig, B_DIM, I_DIM, M_DIM};
+use heteromap_model::{BVector, Grid, IVector, MConfig, B_DIM, I_DIM, M_DIM};
 use std::fmt::Write as _;
 use std::io::{self, BufRead, BufReader, Read, Write};
+use std::path::Path;
 
 /// Magic first line of the database format.
 const HEADER: &str = "heteromap-profiler-db v1";
+
+/// Magic first line of the model format.
+const MODEL_HEADER: &str = "heteromap-model v1";
 
 /// Errors while reading a persisted database.
 #[derive(Debug)]
@@ -182,6 +196,213 @@ pub fn read_database_lenient<R: Read>(reader: R) -> Result<LenientRead, PersistE
     })
 }
 
+impl LenientRead {
+    /// One-line human summary of what a lenient read skipped, suitable for
+    /// surfacing in CLI tools (`None` when nothing was dropped).
+    pub fn skip_summary(&self) -> Option<String> {
+        if self.skipped_rows == 0 {
+            return None;
+        }
+        let first = self
+            .warnings
+            .first()
+            .map(|(line, reason)| format!(" (first: line {line}: {reason})"))
+            .unwrap_or_default();
+        Some(format!(
+            "skipped {} corrupt row{} while reading the database{first}",
+            self.skipped_rows,
+            if self.skipped_rows == 1 { "" } else { "s" },
+        ))
+    }
+}
+
+/// Opens `path` and reads it leniently with [`read_database_lenient`].
+///
+/// # Errors
+///
+/// Returns [`PersistError`] on I/O failures or an unrecognized header.
+pub fn read_database_file_lenient<P: AsRef<Path>>(path: P) -> Result<LenientRead, PersistError> {
+    read_database_lenient(std::fs::File::open(path)?)
+}
+
+/// A persisted trained model: either learner HeteroMap serves in practice.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum PersistedModel {
+    /// A trained deep network (§V-B).
+    Nn(NeuralPredictor),
+    /// The §IV decision-tree heuristic (threshold + grid).
+    Tree(DecisionTree),
+}
+
+/// Writes a trained model to `writer` in the v1 model format.
+///
+/// # Errors
+///
+/// Returns any I/O error from the writer.
+pub fn write_model<W: Write>(model: &PersistedModel, mut writer: W) -> Result<(), PersistError> {
+    writeln!(writer, "{MODEL_HEADER}")?;
+    match model {
+        PersistedModel::Tree(tree) => {
+            writeln!(writer, "tree {} {}", tree.threshold, tree.grid.steps())?;
+        }
+        PersistedModel::Nn(nn) => {
+            writeln!(writer, "nn {}", nn.name())?;
+            writeln!(writer, "layers {}", nn.layers().len())?;
+            for layer in nn.layers() {
+                writeln!(writer, "layer {} {}", layer.inputs, layer.outputs)?;
+                let mut line = String::new();
+                for w in &layer.weights {
+                    let _ = write!(line, "{w} ");
+                }
+                writeln!(writer, "{}", line.trim_end())?;
+                line.clear();
+                for b in &layer.biases {
+                    let _ = write!(line, "{b} ");
+                }
+                writeln!(writer, "{}", line.trim_end())?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Reads a model previously written by [`write_model`].
+///
+/// # Errors
+///
+/// Returns [`PersistError::BadHeader`] when the stream is not a v1 model,
+/// and [`PersistError::BadRow`] (with a 1-based line number) for truncated
+/// or corrupt bodies — shape mismatches, non-numeric weights, missing
+/// layers.
+pub fn read_model<R: Read>(reader: R) -> Result<PersistedModel, PersistError> {
+    let mut lines = BufReader::new(reader).lines().enumerate();
+    let mut next_line = |what: &str| -> Result<(usize, String), PersistError> {
+        match lines.next() {
+            Some((idx, line)) => Ok((idx + 1, line?)),
+            None => Err(PersistError::BadRow {
+                line: 0,
+                reason: format!("truncated file: missing {what}"),
+            }),
+        }
+    };
+    let (_, header) = next_line("header")?;
+    if header.trim() != MODEL_HEADER {
+        return Err(PersistError::BadHeader(header));
+    }
+    let (kind_line, kind) = next_line("model kind")?;
+    let bad = |line: usize, reason: String| PersistError::BadRow { line, reason };
+    if let Some(rest) = kind.strip_prefix("tree ") {
+        let mut it = rest.split_whitespace();
+        let threshold: f64 = it
+            .next()
+            .ok_or_else(|| bad(kind_line, "missing threshold".into()))?
+            .parse()
+            .map_err(|e| bad(kind_line, format!("bad threshold: {e}")))?;
+        let steps: u32 = it
+            .next()
+            .ok_or_else(|| bad(kind_line, "missing grid steps".into()))?
+            .parse()
+            .map_err(|e| bad(kind_line, format!("bad grid steps: {e}")))?;
+        if steps == 0 {
+            return Err(bad(kind_line, "grid steps must be positive".into()));
+        }
+        return Ok(PersistedModel::Tree(DecisionTree {
+            threshold,
+            grid: Grid::new(steps),
+        }));
+    }
+    let name = kind
+        .strip_prefix("nn ")
+        .ok_or_else(|| bad(kind_line, format!("unknown model kind {kind:?}")))?
+        .trim()
+        .to_string();
+    let (count_line, count) = next_line("layer count")?;
+    let n_layers: usize = count
+        .strip_prefix("layers ")
+        .ok_or_else(|| bad(count_line, format!("expected `layers <n>`, got {count:?}")))?
+        .trim()
+        .parse()
+        .map_err(|e| bad(count_line, format!("bad layer count: {e}")))?;
+    if n_layers == 0 {
+        return Err(bad(count_line, "model must have at least one layer".into()));
+    }
+    let parse_floats = |line_no: usize, text: &str, expect: usize, what: &str| {
+        let vals: Result<Vec<f64>, _> = text.split_whitespace().map(str::parse).collect();
+        let vals = vals.map_err(|e| bad(line_no, format!("bad {what}: {e}")))?;
+        if vals.len() != expect {
+            return Err(bad(
+                line_no,
+                format!("{what}: expected {expect} values, got {}", vals.len()),
+            ));
+        }
+        Ok(vals)
+    };
+    let mut layers = Vec::with_capacity(n_layers);
+    for l in 0..n_layers {
+        let (shape_line, shape) = next_line(&format!("layer {l} shape"))?;
+        let mut it = shape
+            .strip_prefix("layer ")
+            .ok_or_else(|| {
+                bad(
+                    shape_line,
+                    format!("expected `layer <in> <out>`, got {shape:?}"),
+                )
+            })?
+            .split_whitespace();
+        let mut dim = |what: &str| -> Result<usize, PersistError> {
+            it.next()
+                .ok_or_else(|| bad(shape_line, format!("missing {what}")))?
+                .parse::<usize>()
+                .map_err(|e| bad(shape_line, format!("bad {what}: {e}")))
+        };
+        let inputs = dim("inputs")?;
+        let outputs = dim("outputs")?;
+        if inputs == 0 || outputs == 0 {
+            return Err(bad(shape_line, "layer dimensions must be positive".into()));
+        }
+        let (w_line, weights) = next_line(&format!("layer {l} weights"))?;
+        let weights = parse_floats(w_line, &weights, inputs * outputs, "weights")?;
+        let (b_line, biases) = next_line(&format!("layer {l} biases"))?;
+        let biases = parse_floats(b_line, &biases, outputs, "biases")?;
+        if let Some(prev_out) = layers.last().map(|p: &Layer| p.outputs) {
+            if inputs != prev_out {
+                return Err(bad(
+                    shape_line,
+                    format!(
+                        "layer {l} expects {inputs} inputs but previous layer emits {prev_out}"
+                    ),
+                ));
+            }
+        }
+        layers.push(Layer::from_parts(inputs, outputs, weights, biases));
+    }
+    Ok(PersistedModel::Nn(NeuralPredictor::from_layers(
+        name, layers,
+    )))
+}
+
+/// Saves a trained model to `path` (see [`write_model`]).
+///
+/// # Errors
+///
+/// Returns [`PersistError`] on I/O failures.
+pub fn save_model_file<P: AsRef<Path>>(
+    model: &PersistedModel,
+    path: P,
+) -> Result<(), PersistError> {
+    write_model(model, std::io::BufWriter::new(std::fs::File::create(path)?))
+}
+
+/// Loads a trained model from `path` (see [`read_model`]).
+///
+/// # Errors
+///
+/// Returns [`PersistError`] on I/O failures or a corrupt/truncated file.
+pub fn load_model_file<P: AsRef<Path>>(path: P) -> Result<PersistedModel, PersistError> {
+    read_model(std::fs::File::open(path)?)
+}
+
 fn parse_row(line: &str) -> Result<TrainingSample, String> {
     let mut it = line.split_whitespace();
     let mut next_f64 = |what: &str| -> Result<f64, String> {
@@ -336,5 +557,156 @@ mod tests {
             read_database_lenient("csv,but,not,ours\n1,2,3\n".as_bytes()),
             Err(PersistError::BadHeader(_))
         ));
+    }
+
+    #[test]
+    fn lenient_read_survives_interleaved_corrupt_records() {
+        // Corrupt rows scattered *between* good rows (not just appended):
+        // every good row must still load and every bad row must be counted.
+        let set = Trainer::new(MultiAcceleratorSystem::primary()).generate_database(6, 13);
+        let mut buf = Vec::new();
+        write_database(&set, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let mut lines = text.lines();
+        let mut interleaved = String::new();
+        interleaved.push_str(lines.next().unwrap()); // header
+        interleaved.push('\n');
+        for (k, row) in lines.enumerate() {
+            if k % 2 == 0 {
+                interleaved.push_str("0.3 corrupt interleaved record\n");
+            }
+            interleaved.push_str(row);
+            interleaved.push('\n');
+        }
+        let lenient = read_database_lenient(interleaved.as_bytes()).unwrap();
+        assert_eq!(lenient.set.len(), set.len(), "all good rows survive");
+        assert_eq!(lenient.skipped_rows, 3);
+        let summary = lenient.skip_summary().expect("skips were recorded");
+        assert!(summary.contains("3 corrupt rows"), "{summary}");
+        for (a, b) in set.samples().iter().zip(lenient.set.samples()) {
+            assert_eq!(a.optimal, b.optimal);
+        }
+    }
+
+    #[test]
+    fn skip_summary_is_none_for_clean_reads() {
+        let set = Trainer::new(MultiAcceleratorSystem::primary()).generate_database(2, 3);
+        let mut buf = Vec::new();
+        write_database(&set, &mut buf).unwrap();
+        let lenient = read_database_lenient(&buf[..]).unwrap();
+        assert!(lenient.skip_summary().is_none());
+    }
+
+    fn trained_nn() -> NeuralPredictor {
+        let set = Trainer::new(MultiAcceleratorSystem::primary()).generate_database(8, 5);
+        NeuralPredictor::train(
+            &set,
+            crate::nn::TrainConfig {
+                hidden: 8,
+                epochs: 3,
+                ..crate::nn::TrainConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn nn_model_round_trips_bit_identically() {
+        let nn = trained_nn();
+        let mut buf = Vec::new();
+        write_model(&PersistedModel::Nn(nn.clone()), &mut buf).unwrap();
+        let PersistedModel::Nn(back) = read_model(&buf[..]).unwrap() else {
+            panic!("expected an nn model");
+        };
+        assert_eq!(back.name(), nn.name());
+        assert_eq!(back.flops_per_inference(), nn.flops_per_inference());
+        let set = Trainer::new(MultiAcceleratorSystem::primary()).generate_database(5, 21);
+        for s in set.samples() {
+            assert_eq!(
+                nn.predict(&s.b, &s.i).as_array(),
+                back.predict(&s.b, &s.i).as_array(),
+                "reloaded model must predict bit-identically"
+            );
+        }
+    }
+
+    #[test]
+    fn tree_model_round_trips_exactly() {
+        let tree = DecisionTree::with_threshold(0.4);
+        let mut buf = Vec::new();
+        write_model(&PersistedModel::Tree(tree), &mut buf).unwrap();
+        match read_model(&buf[..]).unwrap() {
+            PersistedModel::Tree(back) => assert_eq!(back, tree),
+            other => panic!("expected a tree, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn model_wrong_header_is_rejected() {
+        assert!(matches!(
+            read_model("not a model\nnn x\n".as_bytes()),
+            Err(PersistError::BadHeader(_))
+        ));
+        // A profiler database is not a model either.
+        assert!(matches!(
+            read_model(format!("{HEADER}\n").as_bytes()),
+            Err(PersistError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_model_file_is_rejected() {
+        let nn = trained_nn();
+        let mut buf = Vec::new();
+        write_model(&PersistedModel::Nn(nn), &mut buf).unwrap();
+        // Cut the file mid-way through the layer dump.
+        let text = String::from_utf8(buf).unwrap();
+        let cut: String = text.lines().take(4).flat_map(|l| [l, "\n"]).collect();
+        let err = read_model(cut.as_bytes()).unwrap_err();
+        assert!(matches!(err, PersistError::BadRow { .. }), "{err}");
+        assert!(err.to_string().contains("truncated") || err.to_string().contains("expected"));
+    }
+
+    #[test]
+    fn corrupt_model_weights_are_rejected_with_line_number() {
+        let nn = trained_nn();
+        let mut buf = Vec::new();
+        write_model(&PersistedModel::Nn(nn), &mut buf).unwrap();
+        let mut text = String::from_utf8(buf).unwrap();
+        // Corrupt the first weight line (line 5: header, kind, layers, shape).
+        let mut lines: Vec<String> = text.lines().map(String::from).collect();
+        lines[4] = "0.1 not-a-number 0.3".into();
+        text = lines.join("\n");
+        match read_model(text.as_bytes()).unwrap_err() {
+            PersistError::BadRow { line, reason } => {
+                assert_eq!(line, 5);
+                assert!(
+                    reason.contains("weights") || reason.contains("bad"),
+                    "{reason}"
+                );
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn mismatched_layer_shapes_are_rejected() {
+        let text = format!(
+            "{MODEL_HEADER}\nnn Tiny\nlayers 2\nlayer 2 1\n0.5 0.5\n0.1\nlayer 3 1\n1 1 1\n0.0\n"
+        );
+        let err = read_model(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("previous layer emits"), "{err}");
+    }
+
+    #[test]
+    fn model_file_helpers_round_trip() {
+        let dir = std::env::temp_dir().join(format!("heteromap-persist-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tree.model");
+        save_model_file(&PersistedModel::Tree(DecisionTree::paper()), &path).unwrap();
+        match load_model_file(&path).unwrap() {
+            PersistedModel::Tree(t) => assert_eq!(t, DecisionTree::paper()),
+            other => panic!("unexpected {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -25,6 +25,25 @@ pub trait Predictor {
 
     /// Predicts the machine configuration for one benchmark-input pair.
     fn predict(&self, b: &BVector, i: &IVector) -> MConfig;
+
+    /// Predicts a batch of benchmark-input pairs in one call.
+    ///
+    /// The default implementation loops [`Predictor::predict`]; predictors
+    /// with batched kernels (the neural network's matrix-matrix forward
+    /// pass) override it. Implementations must stay **bit-identical** to
+    /// per-item `predict` — the serving layer relies on that to return the
+    /// same placement from its cached, batched and uncached paths.
+    fn predict_batch(&self, queries: &[(BVector, IVector)]) -> Vec<MConfig> {
+        queries.iter().map(|(b, i)| self.predict(b, i)).collect()
+    }
+
+    /// Deterministic cost of one inference in multiply-accumulates
+    /// (0 for closed-form predictors like the decision tree). The serving
+    /// layer converts this into the charged predictor overhead of §V-A,
+    /// replacing non-deterministic wall-clock measurement.
+    fn inference_flops(&self) -> usize {
+        0
+    }
 }
 
 /// Flattens `(B, I)` into the 17 input features of the paper's Fig. 10

@@ -1,0 +1,83 @@
+//! Metrics instrumentation for host kernel execution.
+//!
+//! [`KernelRunner`] is a small `Copy` value used throughout the examples and
+//! benches; rather than threading an observer through it, the serving layer
+//! wraps it: [`MeteredRunner`] forwards every run and records the measured
+//! kernel latency (and a per-workload run counter) into a
+//! [`MetricsRegistry`], so a serving process exposes host-execution
+//! percentiles next to its scheduling metrics.
+
+use crate::metrics::MetricsRegistry;
+use heteromap_graph::CsrGraph;
+use heteromap_kernels::runner::KernelRun;
+use heteromap_kernels::KernelRunner;
+use heteromap_model::Workload;
+use std::sync::Arc;
+
+/// A [`KernelRunner`] that reports latencies into a metrics registry.
+#[derive(Debug, Clone)]
+pub struct MeteredRunner {
+    runner: KernelRunner,
+    metrics: Arc<MetricsRegistry>,
+}
+
+impl MeteredRunner {
+    /// Wraps `runner`, reporting into `metrics`.
+    pub fn new(runner: KernelRunner, metrics: Arc<MetricsRegistry>) -> Self {
+        MeteredRunner { runner, metrics }
+    }
+
+    /// The wrapped runner.
+    pub fn runner(&self) -> &KernelRunner {
+        &self.runner
+    }
+
+    /// Runs `workload` on `graph`, recording the kernel latency histogram
+    /// and a `kernel_runs_<workload>` counter.
+    pub fn run(&self, workload: Workload, graph: &CsrGraph) -> KernelRun {
+        let run = self.runner.run(workload, graph);
+        self.metrics
+            .kernel_latency
+            .record(run.elapsed.as_secs_f64() * 1e3);
+        self.metrics
+            .counter(&format!("kernel_runs_{workload}"))
+            .inc();
+        run
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heteromap_graph::gen::{GraphGenerator, UniformRandom};
+
+    #[test]
+    fn metered_runs_record_latency_and_counters() {
+        let metrics = Arc::new(MetricsRegistry::new());
+        let runner = MeteredRunner::new(KernelRunner::new(2), Arc::clone(&metrics));
+        let g = UniformRandom::new(300, 1_800).generate(3);
+        let a = runner.run(Workload::Bfs, &g);
+        let b = runner.run(Workload::Bfs, &g);
+        assert_eq!(a.output.checksum(), b.output.checksum());
+        let snap = metrics.snapshot();
+        assert_eq!(snap.kernel_runs, 2);
+        assert!(snap.kernel_p50_ms > 0.0);
+        assert!(snap
+            .extra
+            .iter()
+            .any(|(name, count)| name.starts_with("kernel_runs_") && *count == 2));
+    }
+
+    #[test]
+    fn metered_output_matches_plain_runner() {
+        let metrics = Arc::new(MetricsRegistry::new());
+        let plain = KernelRunner::new(2);
+        let metered = MeteredRunner::new(plain, metrics);
+        let g = UniformRandom::new(250, 1_500).generate(4);
+        assert_eq!(
+            metered.run(Workload::PageRank, &g).output.checksum(),
+            plain.run(Workload::PageRank, &g).output.checksum()
+        );
+        assert_eq!(metered.runner().threads(), 2);
+    }
+}

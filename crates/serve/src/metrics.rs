@@ -1,0 +1,518 @@
+//! Atomic metrics registry for the serving engine.
+//!
+//! Plain `std::sync::atomic` counters and fixed-bucket histograms — no
+//! allocation or locking on the hot path — covering the cache (hits,
+//! misses, evictions, invalidations), the batcher (batch sizes, queue
+//! depth, single-flight waits), scheduling outcomes (per-accelerator
+//! placement counts, failures) and latency distributions (schedule and
+//! kernel p50/p95/p99). [`MetricsRegistry::snapshot`] freezes everything
+//! into a [`MetricsSnapshot`] that renders as JSON with no external
+//! dependencies, matching the hand-rolled emitters in `heteromap-bench`.
+
+use heteromap::Placement;
+use heteromap_model::Accelerator;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing atomic counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A high-watermark gauge (records the maximum observed value).
+#[derive(Debug, Default)]
+pub struct PeakGauge(AtomicU64);
+
+impl PeakGauge {
+    /// Creates a zeroed gauge.
+    pub fn new() -> Self {
+        PeakGauge::default()
+    }
+
+    /// Records an observation, keeping the maximum.
+    pub fn observe(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// The peak observed so far.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Upper bucket bounds for latency histograms, in milliseconds
+/// (0.1 µs … 5 s, roughly 1-2-5 per decade; one overflow bucket follows).
+const LATENCY_BOUNDS_MS: [f64; 24] = [
+    0.0001, 0.0002, 0.0005, 0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0,
+    10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0, 2000.0, 5000.0,
+];
+
+/// Upper bucket bounds for batch-size histograms.
+const BATCH_BOUNDS: [f64; 12] = [
+    1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 32.0, 64.0, 128.0, 256.0,
+];
+
+/// A fixed-bucket histogram with atomic buckets.
+///
+/// Quantiles are resolved to the upper bound of the bucket holding the
+/// requested rank — a deliberate over-estimate bounded by the bucket
+/// spacing, which is the standard trade for lock-free recording.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: &'static [f64],
+    /// One bucket per bound plus a final overflow bucket.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// Sum scaled by 1e6 (nanosecond resolution for millisecond samples).
+    sum_scaled: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram over [`LATENCY_BOUNDS_MS`] (values in milliseconds).
+    pub fn latency_ms() -> Self {
+        Histogram::with_bounds(&LATENCY_BOUNDS_MS)
+    }
+
+    /// A histogram over [`BATCH_BOUNDS`] (values are batch sizes).
+    pub fn batch_sizes() -> Self {
+        Histogram::with_bounds(&BATCH_BOUNDS)
+    }
+
+    fn with_bounds(bounds: &'static [f64]) -> Self {
+        Histogram {
+            bounds,
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_scaled: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample (negative/NaN samples count into bucket 0).
+    pub fn record(&self, v: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        if v.is_finite() && v > 0.0 {
+            self.sum_scaled
+                .fetch_add((v * 1e6).round() as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean of recorded samples (`NaN` when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return f64::NAN;
+        }
+        self.sum_scaled.load(Ordering::Relaxed) as f64 / 1e6 / n as f64
+    }
+
+    /// The `q`-quantile (`0 < q <= 1`) as the upper bound of the bucket
+    /// containing that rank; `NaN` when empty, the last bound when the rank
+    /// lands in the overflow bucket.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return f64::NAN;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                return self.bounds.get(idx).copied().unwrap_or_else(|| {
+                    // Overflow bucket: report the largest finite bound.
+                    *self.bounds.last().expect("histogram has bounds")
+                });
+            }
+        }
+        *self.bounds.last().expect("histogram has bounds")
+    }
+}
+
+/// The serving engine's metrics registry.
+///
+/// Typed fields cover the built-in instrumentation; [`MetricsRegistry::counter`]
+/// registers ad-hoc named counters (e.g. per-workload kernel runs) that ride
+/// along in the snapshot.
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    /// Cache lookups that returned a stored prediction.
+    pub cache_hits: Counter,
+    /// Cache lookups that fell through to inference.
+    pub cache_misses: Counter,
+    /// LRU evictions performed by inserts.
+    pub cache_evictions: Counter,
+    /// Explicit invalidations (fault-plan or predictor changes).
+    pub cache_invalidations: Counter,
+    /// Requests that waited on another request's identical in-flight key.
+    pub single_flight_waits: Counter,
+    /// Batched inference passes executed.
+    pub batches: Counter,
+    /// Requests served by batched passes.
+    pub batched_requests: Counter,
+    /// Peak submission-queue depth.
+    pub queue_depth_peak: PeakGauge,
+    /// Placements routed to the GPU.
+    pub gpu_placements: Counter,
+    /// Placements routed to the multicore.
+    pub multicore_placements: Counter,
+    /// Placements that exhausted every accelerator.
+    pub failed_placements: Counter,
+    /// Chunks scheduled through the streaming path.
+    pub stream_chunks: Counter,
+    /// OOM re-streams performed by the streaming path.
+    pub stream_restreams: Counter,
+    /// End-to-end serve latency per request (ms).
+    pub schedule_latency: Histogram,
+    /// Host kernel-execution latency (ms), fed by `MeteredRunner`.
+    pub kernel_latency: Histogram,
+    /// Distribution of batched-inference batch sizes.
+    pub batch_sizes: Histogram,
+    extra: Mutex<BTreeMap<String, Arc<Counter>>>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        MetricsRegistry::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry {
+            cache_hits: Counter::new(),
+            cache_misses: Counter::new(),
+            cache_evictions: Counter::new(),
+            cache_invalidations: Counter::new(),
+            single_flight_waits: Counter::new(),
+            batches: Counter::new(),
+            batched_requests: Counter::new(),
+            queue_depth_peak: PeakGauge::new(),
+            gpu_placements: Counter::new(),
+            multicore_placements: Counter::new(),
+            failed_placements: Counter::new(),
+            stream_chunks: Counter::new(),
+            stream_restreams: Counter::new(),
+            schedule_latency: Histogram::latency_ms(),
+            kernel_latency: Histogram::latency_ms(),
+            batch_sizes: Histogram::batch_sizes(),
+            extra: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Registers (or fetches) a named counter. Names are sanitized to
+    /// `[a-z0-9_]` so they embed cleanly in the JSON snapshot.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let slug: String = name
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() {
+                    c.to_ascii_lowercase()
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        self.extra
+            .lock()
+            .expect("metrics registry poisoned")
+            .entry(slug)
+            .or_default()
+            .clone()
+    }
+
+    /// Records the outcome of one placement (accelerator routing and
+    /// completion).
+    pub fn record_placement(&self, placement: &Placement) {
+        match placement.accelerator() {
+            Accelerator::Gpu => self.gpu_placements.inc(),
+            Accelerator::Multicore => self.multicore_placements.inc(),
+        }
+        if !placement.completed() {
+            self.failed_placements.inc();
+        }
+    }
+
+    /// Freezes every metric into a snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let hits = self.cache_hits.get();
+        let misses = self.cache_misses.get();
+        let lookups = hits + misses;
+        let batches = self.batches.get();
+        MetricsSnapshot {
+            cache_hits: hits,
+            cache_misses: misses,
+            cache_hit_rate: if lookups == 0 {
+                f64::NAN
+            } else {
+                hits as f64 / lookups as f64
+            },
+            cache_evictions: self.cache_evictions.get(),
+            cache_invalidations: self.cache_invalidations.get(),
+            single_flight_waits: self.single_flight_waits.get(),
+            batches,
+            batched_requests: self.batched_requests.get(),
+            mean_batch_size: self.batch_sizes.mean(),
+            max_batch_bucket: self.batch_sizes.quantile(1.0),
+            queue_depth_peak: self.queue_depth_peak.get(),
+            gpu_placements: self.gpu_placements.get(),
+            multicore_placements: self.multicore_placements.get(),
+            failed_placements: self.failed_placements.get(),
+            stream_chunks: self.stream_chunks.get(),
+            stream_restreams: self.stream_restreams.get(),
+            requests: self.schedule_latency.count(),
+            schedule_p50_ms: self.schedule_latency.quantile(0.50),
+            schedule_p95_ms: self.schedule_latency.quantile(0.95),
+            schedule_p99_ms: self.schedule_latency.quantile(0.99),
+            schedule_mean_ms: self.schedule_latency.mean(),
+            kernel_runs: self.kernel_latency.count(),
+            kernel_p50_ms: self.kernel_latency.quantile(0.50),
+            kernel_p99_ms: self.kernel_latency.quantile(0.99),
+            extra: self
+                .extra
+                .lock()
+                .expect("metrics registry poisoned")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+        }
+    }
+}
+
+/// A frozen view of the registry (plain values, JSON-renderable).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct MetricsSnapshot {
+    /// Cache hits.
+    pub cache_hits: u64,
+    /// Cache misses.
+    pub cache_misses: u64,
+    /// `hits / (hits + misses)` (`NaN` with no lookups).
+    pub cache_hit_rate: f64,
+    /// LRU evictions.
+    pub cache_evictions: u64,
+    /// Explicit invalidations.
+    pub cache_invalidations: u64,
+    /// Single-flight duplicate waits.
+    pub single_flight_waits: u64,
+    /// Batched inference passes.
+    pub batches: u64,
+    /// Requests served through batches.
+    pub batched_requests: u64,
+    /// Mean batch size (`NaN` with no batches).
+    pub mean_batch_size: f64,
+    /// Upper bound of the largest populated batch-size bucket.
+    pub max_batch_bucket: f64,
+    /// Peak submission-queue depth.
+    pub queue_depth_peak: u64,
+    /// Placements routed to the GPU.
+    pub gpu_placements: u64,
+    /// Placements routed to the multicore.
+    pub multicore_placements: u64,
+    /// Placements that exhausted every accelerator.
+    pub failed_placements: u64,
+    /// Streamed chunks scheduled.
+    pub stream_chunks: u64,
+    /// OOM re-streams.
+    pub stream_restreams: u64,
+    /// Scheduled requests (latency samples).
+    pub requests: u64,
+    /// Median serve latency (ms).
+    pub schedule_p50_ms: f64,
+    /// 95th-percentile serve latency (ms).
+    pub schedule_p95_ms: f64,
+    /// 99th-percentile serve latency (ms).
+    pub schedule_p99_ms: f64,
+    /// Mean serve latency (ms).
+    pub schedule_mean_ms: f64,
+    /// Metered kernel executions.
+    pub kernel_runs: u64,
+    /// Median kernel latency (ms).
+    pub kernel_p50_ms: f64,
+    /// 99th-percentile kernel latency (ms).
+    pub kernel_p99_ms: f64,
+    /// Registered ad-hoc counters.
+    pub extra: Vec<(String, u64)>,
+}
+
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".into()
+    }
+}
+
+impl MetricsSnapshot {
+    /// Renders the snapshot as a JSON object (hand-rolled — the workspace
+    /// vendors no serde_json; non-finite values render as `null`).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        let mut field = |k: &str, v: String| {
+            s.push_str(&format!("  \"{k}\": {v},\n"));
+        };
+        field("cache_hits", self.cache_hits.to_string());
+        field("cache_misses", self.cache_misses.to_string());
+        field("cache_hit_rate", json_num(self.cache_hit_rate));
+        field("cache_evictions", self.cache_evictions.to_string());
+        field("cache_invalidations", self.cache_invalidations.to_string());
+        field("single_flight_waits", self.single_flight_waits.to_string());
+        field("batches", self.batches.to_string());
+        field("batched_requests", self.batched_requests.to_string());
+        field("mean_batch_size", json_num(self.mean_batch_size));
+        field("max_batch_bucket", json_num(self.max_batch_bucket));
+        field("queue_depth_peak", self.queue_depth_peak.to_string());
+        field("gpu_placements", self.gpu_placements.to_string());
+        field(
+            "multicore_placements",
+            self.multicore_placements.to_string(),
+        );
+        field("failed_placements", self.failed_placements.to_string());
+        field("stream_chunks", self.stream_chunks.to_string());
+        field("stream_restreams", self.stream_restreams.to_string());
+        field("requests", self.requests.to_string());
+        field("schedule_p50_ms", json_num(self.schedule_p50_ms));
+        field("schedule_p95_ms", json_num(self.schedule_p95_ms));
+        field("schedule_p99_ms", json_num(self.schedule_p99_ms));
+        field("schedule_mean_ms", json_num(self.schedule_mean_ms));
+        field("kernel_runs", self.kernel_runs.to_string());
+        field("kernel_p50_ms", json_num(self.kernel_p50_ms));
+        field("kernel_p99_ms", json_num(self.kernel_p99_ms));
+        let extras: Vec<String> = self
+            .extra
+            .iter()
+            .map(|(k, v)| format!("\"{k}\": {v}"))
+            .collect();
+        s.push_str(&format!("  \"extra\": {{{}}}\n", extras.join(", ")));
+        s.push('}');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = MetricsRegistry::new();
+        m.cache_hits.inc();
+        m.cache_hits.add(4);
+        m.cache_misses.inc();
+        let snap = m.snapshot();
+        assert_eq!(snap.cache_hits, 5);
+        assert_eq!(snap.cache_misses, 1);
+        assert!((snap.cache_hit_rate - 5.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hit_rate_is_nan_without_lookups() {
+        assert!(MetricsRegistry::new().snapshot().cache_hit_rate.is_nan());
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_samples() {
+        let h = Histogram::latency_ms();
+        for _ in 0..90 {
+            h.record(0.004); // -> 0.005 bucket
+        }
+        for _ in 0..10 {
+            h.record(3.0); // -> 5.0 bucket
+        }
+        assert_eq!(h.count(), 100);
+        assert!(
+            (h.quantile(0.5) - 0.005).abs() < 1e-12,
+            "{}",
+            h.quantile(0.5)
+        );
+        assert!(
+            (h.quantile(0.99) - 5.0).abs() < 1e-12,
+            "{}",
+            h.quantile(0.99)
+        );
+        let mean = h.mean();
+        assert!(mean > 0.004 && mean < 3.0, "{mean}");
+    }
+
+    #[test]
+    fn histogram_overflow_reports_last_bound() {
+        let h = Histogram::latency_ms();
+        h.record(1e9);
+        assert_eq!(h.quantile(0.5), 5000.0);
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_nan() {
+        assert!(Histogram::latency_ms().quantile(0.5).is_nan());
+        assert!(Histogram::latency_ms().mean().is_nan());
+    }
+
+    #[test]
+    fn peak_gauge_keeps_maximum() {
+        let g = PeakGauge::new();
+        g.observe(3);
+        g.observe(9);
+        g.observe(5);
+        assert_eq!(g.get(), 9);
+    }
+
+    #[test]
+    fn named_counters_are_shared_and_sanitized() {
+        let m = MetricsRegistry::new();
+        let a = m.counter("Kernel Runs: BFS");
+        let b = m.counter("kernel_runs__bfs");
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2, "same slug, same counter");
+        let snap = m.snapshot();
+        assert_eq!(snap.extra, vec![("kernel_runs__bfs".to_string(), 2)]);
+    }
+
+    #[test]
+    fn snapshot_json_is_well_formed() {
+        let m = MetricsRegistry::new();
+        m.cache_hits.inc();
+        m.schedule_latency.record(0.5);
+        m.counter("custom").add(7);
+        let json = m.snapshot().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"cache_hits\": 1"));
+        assert!(json.contains("\"custom\": 7"));
+        // NaN quantities must render as null, not NaN.
+        assert!(!json.contains("NaN"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

@@ -4,9 +4,14 @@
 //! learner, and compare them Table-IV-style on the real workloads.
 //!
 //! Run with: `cargo run --release --example train_predictor [samples]`
+//!
+//! Set `HETEROMAP_DB=<path>` to reuse a persisted profiler database instead
+//! of regenerating one; corrupt rows are skipped with a warning, not
+//! silently dropped.
 
 use heteromap_accel::system::MultiAcceleratorSystem;
 use heteromap_predict::nn::TrainConfig;
+use heteromap_predict::persist::read_database_file_lenient;
 use heteromap_predict::{
     AdaptiveLibrary, DecisionTree, Evaluator, NeuralPredictor, Objective, Predictor,
     RegressionPredictor, Trainer,
@@ -19,9 +24,22 @@ fn main() {
         .unwrap_or(300);
     let system = MultiAcceleratorSystem::primary();
 
-    println!("1. generating profiler database ({samples} autotuned synthetic combos)...");
     let trainer = Trainer::new(system.clone());
-    let db = trainer.generate_database(samples, 42);
+    let db = match std::env::var("HETEROMAP_DB") {
+        Ok(path) if !path.is_empty() => {
+            println!("1. loading profiler database from {path}...");
+            let lenient = read_database_file_lenient(&path)
+                .unwrap_or_else(|e| panic!("HETEROMAP_DB={path}: {e}"));
+            if let Some(summary) = lenient.skip_summary() {
+                eprintln!("   warning: {summary}");
+            }
+            lenient.set
+        }
+        _ => {
+            println!("1. generating profiler database ({samples} autotuned synthetic combos)...");
+            trainer.generate_database(samples, 42)
+        }
+    };
     let gpu_share = db
         .samples()
         .iter()

@@ -1,0 +1,88 @@
+//! Cross-crate regression tests for the prediction-serving subsystem: the
+//! §V-A overhead accounting must survive the cache. A hit charges
+//! (near-)zero predictor overhead; a miss charges the full neural inference
+//! cost; and neither changes the predicted configuration or the deploy's
+//! base completion time.
+
+use heteromap::HeteroMap;
+use heteromap_graph::datasets::Dataset;
+use heteromap_model::Workload;
+use heteromap_serve::{ServeConfig, ServeEngine, ServeMode, ServeSource};
+
+#[test]
+fn cache_hits_skip_the_inference_cost_misses_pay_it() {
+    // A real trained network, so inference_flops is the Deep.128 figure the
+    // paper's overhead numbers are built on.
+    let engine = ServeEngine::new(
+        HeteroMap::with_trained_deep(30, 11),
+        ServeConfig::with_mode(ServeMode::Cached),
+    );
+    let miss_cost_ms = engine.miss_overhead_ms();
+    assert!(miss_cost_ms > 0.0, "Deep.128 inference is not free");
+
+    for (w, d) in [
+        (Workload::Bfs, Dataset::Facebook),
+        (Workload::PageRank, Dataset::LiveJournal),
+        (Workload::SsspDelta, Dataset::UsaCal),
+    ] {
+        let miss = engine.schedule(w, d);
+        let hit = engine.schedule(w, d);
+        assert_eq!(miss.source, ServeSource::Computed { batched: false }, "{w}");
+        assert_eq!(hit.source, ServeSource::CacheHit, "{w}");
+
+        // Miss: full deterministic inference cost, charged into time_ms.
+        assert_eq!(
+            miss.placement.predictor_overhead_ms.to_bits(),
+            miss_cost_ms.to_bits(),
+            "{w}: miss overhead"
+        );
+        // Hit: zero predictor overhead by default.
+        assert_eq!(
+            hit.placement.predictor_overhead_ms, 0.0,
+            "{w}: hit overhead"
+        );
+        // Identical decision, identical base completion time: the placements
+        // differ by exactly the charged overhead.
+        assert_eq!(miss.placement.config, hit.placement.config, "{w}");
+        assert_eq!(
+            (miss.placement.report.time_ms - miss_cost_ms).to_bits(),
+            hit.placement.report.time_ms.to_bits(),
+            "{w}: base completion time"
+        );
+    }
+
+    let snap = engine.metrics().snapshot();
+    assert_eq!(snap.cache_hits, 3);
+    assert_eq!(snap.cache_misses, 3);
+    assert!((snap.cache_hit_rate - 0.5).abs() < 1e-12);
+}
+
+#[test]
+fn serving_matches_the_framework_decision_for_every_combination() {
+    // The decision tree needs no training, so the full 81-combination sweep
+    // stays fast: for every pair, the served placement must carry the exact
+    // configuration the bare framework picks.
+    let engine = ServeEngine::new(HeteroMap::with_decision_tree(), ServeConfig::default());
+    let reference = HeteroMap::with_decision_tree();
+    for w in Workload::all() {
+        for d in Dataset::all() {
+            // Twice: once as a miss, once as a hit.
+            for _ in 0..2 {
+                let served = engine.schedule(w, d);
+                let bare = reference.schedule(w, d);
+                assert_eq!(served.placement.config, bare.config, "{w} on {d}");
+                assert_eq!(
+                    served.placement.attempts.predictor_fallbacks,
+                    bare.attempts.predictor_fallbacks,
+                    "{w} on {d}"
+                );
+            }
+        }
+    }
+    let snap = engine.metrics().snapshot();
+    assert!(
+        snap.cache_hit_rate >= 0.5 - 1e-12,
+        "{}",
+        snap.cache_hit_rate
+    );
+}

@@ -187,6 +187,9 @@ impl MultiAcceleratorSystem {
         let accelerator = cfg.accelerator;
         let state = self.faults.state_for(accelerator);
         if state == FaultState::Down {
+            heteromap_obs::event("fault.down", || {
+                format!("accelerator={accelerator:?} attempt={attempt} cause=planned_outage")
+            });
             return Err(DeployError::AcceleratorDown { accelerator });
         }
         let mem_gb = self.memory_gb(accelerator);
@@ -194,6 +197,13 @@ impl MultiAcceleratorSystem {
             let footprint_bytes = ctx.stats.footprint_bytes();
             let capacity_bytes = (mem_gb * 1e9) as u64;
             if footprint_bytes > capacity_bytes {
+                heteromap_obs::event("fault.oom", || {
+                    format!(
+                        "accelerator={accelerator:?} attempt={attempt} \
+                         footprint={footprint_bytes} capacity={capacity_bytes} \
+                         cause=streaming_disabled"
+                    )
+                });
                 return Err(DeployError::OutOfMemory {
                     accelerator,
                     footprint_bytes,
@@ -214,6 +224,14 @@ impl MultiAcceleratorSystem {
             .faults
             .transient_failure_at(accelerator, ctx, cfg, attempt)
         {
+            heteromap_obs::event("fault.transient", || {
+                format!(
+                    "accelerator={accelerator:?} attempt={attempt} seed={} \
+                     failed_after_ms={:.3} cause=injected",
+                    self.faults.seed,
+                    frac * report.time_ms
+                )
+            });
             return Err(DeployError::TransientFailure {
                 accelerator,
                 attempt,

@@ -10,12 +10,12 @@ use heteromap_predict::nn::TrainConfig;
 use heteromap_predict::{Evaluator, NeuralPredictor, Objective, Trainer};
 
 fn main() {
-    let max_samples: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1_600);
+    let args = heteromap_bench::apply_obs_flags(std::env::args().skip(1));
+    let max_samples: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(1_600);
     let system = MultiAcceleratorSystem::primary();
-    eprintln!("generating {max_samples}-sample training database...");
+    heteromap_obs::diag("bench.progress", || {
+        format!("generating {max_samples}-sample training database...")
+    });
     let full =
         heteromap_bench::load_or_generate_database(&Trainer::new(system.clone()), max_samples, 42);
     let evaluator = Evaluator::new(system, Objective::Performance);

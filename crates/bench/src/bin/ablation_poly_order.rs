@@ -8,12 +8,12 @@ use heteromap_bench::TextTable;
 use heteromap_predict::{Evaluator, Objective, RegressionPredictor, Trainer};
 
 fn main() {
-    let samples: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(400);
+    let args = heteromap_bench::apply_obs_flags(std::env::args().skip(1));
+    let samples: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(400);
     let system = MultiAcceleratorSystem::primary();
-    eprintln!("generating {samples}-sample training database...");
+    heteromap_obs::diag("bench.progress", || {
+        format!("generating {samples}-sample training database...")
+    });
     let db = heteromap_bench::load_or_generate_database(&Trainer::new(system.clone()), samples, 42);
     let evaluator = Evaluator::new(system, Objective::Performance);
 

@@ -65,14 +65,8 @@ fn measure(runner: &KernelRunner, workload: Workload, graph: &CsrGraph) -> f64 {
     median(samples)
 }
 
-fn json_escape_free(s: &str) -> &str {
-    debug_assert!(s
-        .chars()
-        .all(|c| c.is_ascii_alphanumeric() || "-_./ ".contains(c)));
-    s
-}
-
 fn main() {
+    heteromap_bench::apply_obs_flags(std::env::args().skip(1));
     let graphs: Vec<(&'static str, CsrGraph)> = vec![
         ("road-small", Dataset::UsaCal.surrogate_graph(800, 7)),
         ("road-medium", Dataset::UsaCal.surrogate_graph(2_500, 7)),
@@ -126,8 +120,9 @@ fn main() {
     let median_speedup = median(rows.iter().map(Row::speedup).collect());
     println!("median speedup (pooled vs spawn-per-call): {median_speedup:.2}x");
 
-    // Hand-rolled JSON: the workspace has no serde_json (offline vendoring),
-    // and the schema is flat.
+    // The workspace has no serde_json (offline vendoring); string fields go
+    // through the shared heteromap-obs JSON writer.
+    use heteromap_obs::json::escape;
     let mut json = String::from("{\n");
     json.push_str("  \"bench\": \"engine_speedup\",\n");
     json.push_str(&format!("  \"threads\": {THREADS},\n"));
@@ -136,11 +131,11 @@ fn main() {
     json.push_str("  \"results\": [\n");
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"workload\": \"{}\", \"graph\": \"{}\", \"edges\": {}, \
+            "    {{\"workload\": {}, \"graph\": {}, \"edges\": {}, \
              \"pooled_ns_per_edge\": {:.4}, \"spawn_ns_per_edge\": {:.4}, \
              \"speedup\": {:.4}}}{}\n",
-            json_escape_free(&r.workload.to_string()),
-            json_escape_free(r.graph),
+            escape(&r.workload.to_string()),
+            escape(r.graph),
             r.edges,
             r.pooled_ns_edge,
             r.spawn_ns_edge,

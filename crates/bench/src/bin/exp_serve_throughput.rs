@@ -72,7 +72,8 @@ fn run_mode(
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args = heteromap_bench::apply_obs_flags(std::env::args().skip(1));
+    let quick = args.iter().any(|a| a == "--quick");
     let repeats = if quick { 4 } else { 24 };
     let thread_counts: &[usize] = if quick { &[4] } else { &[1, 4, 16] };
 
@@ -180,7 +181,9 @@ fn main() {
         println!("WARNING: below the 5x serving-speedup target");
     }
 
-    // Hand-rolled JSON (no serde_json in the offline workspace).
+    // No serde_json in the offline workspace; string fields go through the
+    // shared heteromap-obs JSON writer.
+    use heteromap_obs::json::escape;
     let mut json = String::from("{\n");
     json.push_str("  \"bench\": \"serve_throughput\",\n");
     json.push_str(&format!("  \"quick\": {quick},\n"));
@@ -191,10 +194,10 @@ fn main() {
     json.push_str("  \"results\": [\n");
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"mode\": \"{}\", \"threads\": {}, \"throughput_rps\": {:.2}, \
+            "    {{\"mode\": {}, \"threads\": {}, \"throughput_rps\": {:.2}, \
              \"hit_rate\": {:.4}, \"mean_batch_size\": {:.2}, \
              \"p50_ms\": {:.6}, \"p99_ms\": {:.6}}}{}\n",
-            mode_tag(r.mode),
+            escape(mode_tag(r.mode)),
             r.threads,
             r.throughput_rps,
             r.hit_rate,

@@ -13,12 +13,12 @@ use heteromap_model::Workload;
 use heteromap_predict::Objective;
 
 fn main() {
-    let samples: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(400);
+    let args = heteromap_bench::apply_obs_flags(std::env::args().skip(1));
+    let samples: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(400);
     let system = MultiAcceleratorSystem::primary();
-    eprintln!("training energy-objective Deep.128 on {samples} combinations...");
+    heteromap_obs::diag("bench.progress", || {
+        format!("training energy-objective Deep.128 on {samples} combinations...")
+    });
     let hm = HeteroMap::train_deep_for(system.clone(), samples, 42, Objective::Energy);
     let cmp = SchedulerComparison::run_with(&system, Objective::Energy, &hm);
 

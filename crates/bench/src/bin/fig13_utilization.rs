@@ -11,12 +11,12 @@ use heteromap_model::Workload;
 use heteromap_predict::Objective;
 
 fn main() {
-    let samples: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(400);
+    let args = heteromap_bench::apply_obs_flags(std::env::args().skip(1));
+    let samples: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(400);
     let system = MultiAcceleratorSystem::primary();
-    eprintln!("training Deep.128 on {samples} synthetic combinations...");
+    heteromap_obs::diag("bench.progress", || {
+        format!("training Deep.128 on {samples} synthetic combinations...")
+    });
     let cmp = SchedulerComparison::run(&system, Objective::Performance, samples, 42);
 
     println!("Fig. 13: core utilization (%) averaged across inputs\n");

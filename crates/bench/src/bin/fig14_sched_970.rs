@@ -11,15 +11,15 @@ use heteromap_model::{Accelerator, Workload};
 use heteromap_predict::Objective;
 
 fn main() {
-    let samples: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(400);
+    let args = heteromap_bench::apply_obs_flags(std::env::args().skip(1));
+    let samples: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(400);
     let system = MultiAcceleratorSystem::new(
         AcceleratorSpec::gtx_970(),
         AcceleratorSpec::xeon_phi_7120p(),
     );
-    eprintln!("re-learning Deep.128 for the GTX-970 pair ({samples} samples)...");
+    heteromap_obs::diag("bench.progress", || {
+        format!("re-learning Deep.128 for the GTX-970 pair ({samples} samples)...")
+    });
     let cmp = SchedulerComparison::run(&system, Objective::Performance, samples, 42);
 
     println!("Fig. 14: completion time normalized to the GTX-970 GPU run");

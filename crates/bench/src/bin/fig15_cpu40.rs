@@ -11,15 +11,15 @@ use heteromap_model::Workload;
 use heteromap_predict::Objective;
 
 fn main() {
-    let samples: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(400);
+    let args = heteromap_bench::apply_obs_flags(std::env::args().skip(1));
+    let samples: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(400);
 
     for gpu in [AcceleratorSpec::gtx_750ti(), AcceleratorSpec::gtx_970()] {
         let gpu_name = gpu.name;
         let system = MultiAcceleratorSystem::new(gpu, AcceleratorSpec::cpu_40core());
-        eprintln!("re-learning Deep.128 for ({gpu_name}, CPU-40-Core)...");
+        heteromap_obs::diag("bench.progress", || {
+            format!("re-learning Deep.128 for ({gpu_name}, CPU-40-Core)...")
+        });
         let cmp = SchedulerComparison::run(&system, Objective::Performance, samples, 42);
 
         println!("--- Fig. 15 pair: {gpu_name} + CPU-40-Core ---");

@@ -16,19 +16,21 @@ use heteromap_predict::{
 };
 
 fn main() {
-    let samples: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(600);
-    eprintln!(
-        "training database: {samples} autotuned synthetic combinations \
-         (or set {} to reuse a persisted one)...",
-        heteromap_bench::DB_ENV_VAR
-    );
+    let args = heteromap_bench::apply_obs_flags(std::env::args().skip(1));
+    let samples: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(600);
+    heteromap_obs::diag("bench.progress", || {
+        format!(
+            "training database: {samples} autotuned synthetic combinations \
+             (or set {} to reuse a persisted one)...",
+            heteromap_bench::DB_ENV_VAR
+        )
+    });
     let system = MultiAcceleratorSystem::primary();
     let trainer = Trainer::new(system.clone());
     let db = heteromap_bench::load_or_generate_database(&trainer, samples, 42);
-    eprintln!("database ready; training learners...");
+    heteromap_obs::diag("bench.progress", || {
+        "database ready; training learners...".into()
+    });
 
     let tree = DecisionTree::paper();
     let linear = RegressionPredictor::train_linear(&db);
@@ -37,7 +39,7 @@ fn main() {
     let deep: Vec<NeuralPredictor> = [16, 32, 64, 128]
         .into_iter()
         .map(|hidden| {
-            eprintln!("  training Deep.{hidden}...");
+            heteromap_obs::diag("bench.progress", || format!("  training Deep.{hidden}..."));
             NeuralPredictor::train(
                 &db,
                 TrainConfig {
@@ -48,7 +50,9 @@ fn main() {
         })
         .collect();
 
-    eprintln!("precomputing tuned baselines and ideal configurations...");
+    heteromap_obs::diag("bench.progress", || {
+        "precomputing tuned baselines and ideal configurations...".into()
+    });
     let evaluator = Evaluator::new(system.clone(), Objective::Performance);
 
     let mut learners: Vec<&dyn Predictor> = vec![&tree, &linear, &multi, &adaptive];
@@ -73,7 +77,9 @@ fn main() {
         ]);
     }
     // The paper's extra row: Deep.128 trained for the energy objective.
-    eprintln!("training energy-objective Deep.128...");
+    heteromap_obs::diag("bench.progress", || {
+        "training energy-objective Deep.128...".into()
+    });
     let energy_db = Trainer::new(system.clone())
         .with_objective(Objective::Energy)
         .generate_database(samples, 43);

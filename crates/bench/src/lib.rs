@@ -22,10 +22,12 @@ pub const DB_ENV_VAR: &str = "HETEROMAP_DB";
 /// Obtains a training database for a bench binary or example.
 ///
 /// When [`DB_ENV_VAR`] names a persisted profiler database, it is read
-/// *leniently* and any skipped corrupt rows are reported on stderr — a
-/// silently shrunken database would misattribute learner quality to clean
-/// data. Otherwise `samples` autotuned synthetic combinations are generated
-/// with `trainer` (the Fig. 9 flow).
+/// *leniently* and any skipped corrupt rows are reported as structured
+/// `db.lenient_skip` diagnostics (mirrored to stderr unless
+/// [`heteromap_obs::quiet`]) — a silently shrunken database would
+/// misattribute learner quality to clean data. Otherwise `samples`
+/// autotuned synthetic combinations are generated with `trainer` (the
+/// Fig. 9 flow).
 ///
 /// # Panics
 ///
@@ -37,13 +39,34 @@ pub fn load_or_generate_database(trainer: &Trainer, samples: usize, seed: u64) -
             let lenient = read_database_file_lenient(&path)
                 .unwrap_or_else(|e| panic!("{DB_ENV_VAR}={path}: {e}"));
             if let Some(summary) = lenient.skip_summary() {
-                eprintln!("warning: {path}: {summary}");
+                heteromap_obs::diag("db.lenient_skip", || format!("path={path} {summary}"));
             }
-            eprintln!("loaded {} rows from {path}", lenient.set.len());
+            heteromap_obs::diag("db.loaded", || {
+                format!("path={path} rows={}", lenient.set.len())
+            });
             lenient.set
         }
         _ => trainer.generate_database(samples, seed),
     }
+}
+
+/// Applies the standard bench CLI flags to the observability layer and
+/// returns the remaining arguments: `--quiet` suppresses the diagnostic
+/// stderr mirror, `--trace=LEVEL` overrides `HETEROMAP_TRACE`.
+pub fn apply_obs_flags(args: impl IntoIterator<Item = String>) -> Vec<String> {
+    args.into_iter()
+        .filter(|arg| {
+            if arg == "--quiet" {
+                heteromap_obs::set_quiet(true);
+                false
+            } else if let Some(level) = arg.strip_prefix("--trace=") {
+                heteromap_obs::set_level(heteromap_obs::TraceLevel::from_env_str(level));
+                false
+            } else {
+                true
+            }
+        })
+        .collect()
 }
 
 /// Geometric mean of positive values (the paper's aggregate of choice).
@@ -188,5 +211,13 @@ mod tests {
     fn formatters() {
         assert_eq!(f2(1.234), "1.23");
         assert_eq!(pct(31.04), "31.0%");
+    }
+
+    #[test]
+    fn obs_flags_are_stripped_and_applied() {
+        let rest = apply_obs_flags(["--quiet", "--trace=off", "--quick"].map(String::from));
+        assert_eq!(rest, vec!["--quick".to_string()]);
+        assert!(heteromap_obs::quiet());
+        heteromap_obs::set_quiet(false);
     }
 }

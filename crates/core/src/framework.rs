@@ -172,6 +172,13 @@ impl HeteroMap {
     /// re-clamped for it. The returned [`Placement::attempts`] records every
     /// attempt.
     pub fn schedule_context(&self, ctx: &WorkloadContext) -> Placement {
+        // One relaxed load decides between the span-free flow and its
+        // traced twin: per-schedule work sits well under a microsecond, so
+        // even inert per-stage guards would eat the 1% overhead budget
+        // (measured by `exp_obs_overhead`).
+        if heteromap_obs::enabled() {
+            return self.schedule_context_traced(ctx);
+        }
         // Step 1: discretize the input into I variables.
         let i = self.ivector(&ctx.stats);
         // Step 2: predict M choices (timed — the overhead is charged to the
@@ -180,6 +187,26 @@ impl HeteroMap {
         let start = Instant::now();
         let (config, predictor_fallbacks) = self.predict_config(&ctx.b, &i);
         let overhead_ms = start.elapsed().as_secs_f64() * 1e3;
+        self.deploy_predicted(ctx, config, overhead_ms, predictor_fallbacks)
+    }
+
+    /// [`HeteroMap::schedule_context`] with the pipeline spans
+    /// (schedule/ivector/predict/deploy) recorded into the flight
+    /// recorder. Must stay step-for-step identical to the span-free flow.
+    #[cold]
+    fn schedule_context_traced(&self, ctx: &WorkloadContext) -> Placement {
+        let _schedule = heteromap_obs::span_cat("schedule", "core");
+        let i = {
+            let _span = heteromap_obs::span_cat("ivector", "core");
+            self.ivector(&ctx.stats)
+        };
+        let start = Instant::now();
+        let (config, predictor_fallbacks) = {
+            let _span = heteromap_obs::span_cat("predict", "core");
+            self.predict_config(&ctx.b, &i)
+        };
+        let overhead_ms = start.elapsed().as_secs_f64() * 1e3;
+        let _deploy = heteromap_obs::span_cat("deploy", "core");
         self.deploy_predicted(ctx, config, overhead_ms, predictor_fallbacks)
     }
 
@@ -299,6 +326,12 @@ impl HeteroMap {
         for (leg, &accelerator) in order.iter().enumerate() {
             if leg > 0 {
                 log.failovers += 1;
+                heteromap_obs::event("retry.failover", || {
+                    format!(
+                        "vertices={} edges={} to={accelerator:?}",
+                        ctx.stats.vertices, ctx.stats.edges
+                    )
+                });
             }
             let config = self.config_for_accelerator(&predicted, accelerator);
             last_config = config;
@@ -314,6 +347,13 @@ impl HeteroMap {
                             // the same accelerator would reproduce the same
                             // time: charge one timeout budget and fail over.
                             charged_ms += self.retry.attempt_timeout_ms;
+                            heteromap_obs::event("retry.timeout", || {
+                                format!(
+                                    "accelerator={accelerator:?} attempt={attempt} \
+                                     would_take_ms={:.3} budget_ms={:.3}",
+                                    report.time_ms, self.retry.attempt_timeout_ms
+                                )
+                            });
                             log.records.push(AttemptRecord {
                                 accelerator,
                                 attempt,
@@ -355,6 +395,12 @@ impl HeteroMap {
                         };
                         let charge = failed_after_ms + backoff;
                         charged_ms += charge;
+                        heteromap_obs::event("retry.transient", || {
+                            format!(
+                                "accelerator={accelerator:?} attempt={attempt} \
+                                 failed_after_ms={failed_after_ms:.3} backoff_ms={backoff:.3}"
+                            )
+                        });
                         log.records.push(AttemptRecord {
                             accelerator,
                             attempt,
@@ -363,6 +409,9 @@ impl HeteroMap {
                         });
                     }
                     Err(DeployError::AcceleratorDown { .. }) => {
+                        heteromap_obs::event("retry.down", || {
+                            format!("accelerator={accelerator:?} attempt={attempt}")
+                        });
                         log.records.push(AttemptRecord {
                             accelerator,
                             attempt,
@@ -376,6 +425,12 @@ impl HeteroMap {
                         capacity_bytes,
                         ..
                     }) => {
+                        heteromap_obs::event("retry.oom", || {
+                            format!(
+                                "accelerator={accelerator:?} attempt={attempt} \
+                                 footprint={footprint_bytes} capacity={capacity_bytes}"
+                            )
+                        });
                         log.records.push(AttemptRecord {
                             accelerator,
                             attempt,
@@ -398,6 +453,13 @@ impl HeteroMap {
 
         // Every accelerator exhausted: report an unbounded completion time
         // so callers can rank the outcome (and see exactly why in the log).
+        heteromap_obs::event("retry.exhausted", || {
+            format!(
+                "vertices={} attempts={} charged_ms={charged_ms:.3}",
+                ctx.stats.vertices,
+                log.total_attempts()
+            )
+        });
         log.retry_time_ms = charged_ms;
         Placement {
             config: last_config,

@@ -30,8 +30,10 @@
 //!   of the scoped-thread code this replaces, without poisoning the pool.
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// A type-erased, lifetime-erased handle to the caller's `Fn(usize) + Sync`
 /// closure. Safety rests on `ThreadPool::run` blocking until every
@@ -184,6 +186,34 @@ impl ThreadPool {
         F: Fn(usize) + Sync,
     {
         let threads = threads.max(1);
+        // Under full tracing, sample each participant's busy time and report
+        // the region to the observability layer (per-worker utilization,
+        // the paper's Fig. 13 analogue). The instrumented closure adds two
+        // clock reads per participant per region — negligible next to the
+        // condvar handshake — and nothing at all below `Full`.
+        if heteromap_obs::level() == heteromap_obs::TraceLevel::Full {
+            let label = heteromap_obs::current_region_label();
+            let busy: Vec<AtomicU64> = (0..threads).map(|_| AtomicU64::new(0)).collect();
+            let entered = Instant::now();
+            self.run_inner(threads, |t| {
+                let began = Instant::now();
+                work(t);
+                busy[t].fetch_add(began.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            });
+            heteromap_obs::record_region(
+                label,
+                entered.elapsed().as_nanos() as u64,
+                busy.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            );
+        } else {
+            self.run_inner(threads, work);
+        }
+    }
+
+    fn run_inner<F>(&self, threads: usize, work: F)
+    where
+        F: Fn(usize) + Sync,
+    {
         if threads == 1 {
             work(0);
             return;

@@ -186,6 +186,9 @@ impl KernelRunner {
     /// Panics if the configured source vertex is out of bounds for a
     /// traversal workload on a non-empty graph.
     pub fn run(&self, workload: Workload, graph: &CsrGraph) -> KernelRun {
+        let name = workload_name(workload);
+        let _span = heteromap_obs::span_cat(name, "kernel");
+        let _region = heteromap_obs::region_scope(name);
         let start = Instant::now();
         let output = crate::par::with_engine(self.engine, || self.dispatch(workload, graph));
         KernelRun {
@@ -252,6 +255,24 @@ impl KernelRunner {
     }
 }
 
+/// Static workload name used as the span name and parallel-region label
+/// (the observability layer stores `&'static str` only).
+fn workload_name(workload: Workload) -> &'static str {
+    match workload {
+        Workload::Bfs => "bfs",
+        Workload::Dfs => "dfs",
+        Workload::SsspBf => "sssp_bf",
+        Workload::SsspDelta => "sssp_delta",
+        Workload::PageRank => "pagerank",
+        Workload::PageRankDp => "pagerank_dp",
+        Workload::TriangleCount => "triangle_count",
+        Workload::Community => "community",
+        Workload::ConnComp => "conncomp",
+        #[allow(unreachable_patterns)]
+        _ => "kernel",
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -264,6 +285,32 @@ mod tests {
         for w in Workload::all() {
             let run = runner.run(w, &g);
             assert!(run.output.checksum().is_finite(), "{w}");
+        }
+    }
+
+    #[test]
+    fn full_tracing_records_kernel_spans_and_worker_regions() {
+        let g = UniformRandom::new(200, 1_200).generate(3);
+        let runner = KernelRunner::new(4);
+        heteromap_obs::set_level(heteromap_obs::TraceLevel::Full);
+        let run = runner.run(Workload::Bfs, &g);
+        heteromap_obs::set_level(heteromap_obs::TraceLevel::Off);
+        assert!(run.output.checksum().is_finite());
+
+        // The runner names a span per kernel invocation...
+        assert!(!heteromap_obs::spans_named("bfs").is_empty());
+        // ...and labels the pool's per-region worker timings with it, so
+        // the utilization report can attribute busy time to kernels.
+        let regions: Vec<_> = heteromap_obs::util::snapshot_regions()
+            .0
+            .into_iter()
+            .filter(|r| r.label == "bfs")
+            .collect();
+        assert!(!regions.is_empty(), "pooled BFS must record regions");
+        for region in &regions {
+            assert!(!region.busy_ns.is_empty());
+            let clamped: u64 = region.busy_ns.iter().map(|&b| b.min(region.wall_ns)).sum();
+            assert!(clamped <= region.wall_ns * region.busy_ns.len() as u64);
         }
     }
 

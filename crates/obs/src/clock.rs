@@ -1,0 +1,47 @@
+//! Monotonic trace clock and compact thread identifiers.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Nanoseconds since the process's trace epoch (first call wins; monotonic).
+#[inline]
+pub fn now_ns() -> u64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+static NEXT_THREAD: AtomicU32 = AtomicU32::new(1);
+
+thread_local! {
+    static THREAD_ID: u32 = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+}
+
+/// A small, dense, process-unique id for the calling thread (1-based in
+/// registration order — stable for the thread's lifetime, unlike the
+/// opaque `std::thread::ThreadId`).
+#[inline]
+pub fn thread_id() -> u32 {
+    THREAD_ID.with(|id| *id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotonic() {
+        let a = now_ns();
+        let b = now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn thread_ids_are_distinct_and_stable() {
+        let mine = thread_id();
+        assert_eq!(mine, thread_id());
+        let other = std::thread::spawn(thread_id).join().unwrap();
+        assert_ne!(mine, other);
+    }
+}

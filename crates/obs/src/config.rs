@@ -1,0 +1,167 @@
+//! Global tracing configuration: level, quiet flag, and the environment
+//! bootstrap.
+//!
+//! The level lives in one process-wide `AtomicU8`; the hot-path query
+//! [`level`] is a single relaxed load once initialized, so instrumentation
+//! sprinkled through kernels and schedulers costs one predictable branch
+//! when tracing is off. The first call reads `HETEROMAP_TRACE`
+//! (`off`/`spans`/`full`, anything else = off); [`set_level`] overrides it
+//! programmatically at any time.
+
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+
+/// How much the tracing subsystem records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum TraceLevel {
+    /// Nothing is recorded; instrumentation reduces to one relaxed load.
+    #[default]
+    Off,
+    /// Spans only: the flight recorder captures timed sections.
+    Spans,
+    /// Spans plus the structured event log and per-worker utilization
+    /// sampling.
+    Full,
+}
+
+impl TraceLevel {
+    /// Parses a `HETEROMAP_TRACE` value; unknown strings mean [`Off`]
+    /// (tracing must never turn itself on by accident).
+    ///
+    /// [`Off`]: TraceLevel::Off
+    pub fn from_env_str(s: &str) -> TraceLevel {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "spans" | "span" => TraceLevel::Spans,
+            "full" | "all" => TraceLevel::Full,
+            _ => TraceLevel::Off,
+        }
+    }
+
+    fn from_u8(v: u8) -> TraceLevel {
+        match v {
+            1 => TraceLevel::Spans,
+            2 => TraceLevel::Full,
+            _ => TraceLevel::Off,
+        }
+    }
+
+    fn as_u8(self) -> u8 {
+        match self {
+            TraceLevel::Off => 0,
+            TraceLevel::Spans => 1,
+            TraceLevel::Full => 2,
+        }
+    }
+}
+
+impl std::fmt::Display for TraceLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            TraceLevel::Off => "off",
+            TraceLevel::Spans => "spans",
+            TraceLevel::Full => "full",
+        })
+    }
+}
+
+/// Environment variable selecting the trace level.
+pub const TRACE_ENV_VAR: &str = "HETEROMAP_TRACE";
+/// Environment variable suppressing diagnostic stderr mirroring (`1`/`true`).
+pub const QUIET_ENV_VAR: &str = "HETEROMAP_QUIET";
+
+/// Sentinel meaning "not yet initialized from the environment".
+const UNINIT: u8 = u8::MAX;
+
+static LEVEL: AtomicU8 = AtomicU8::new(UNINIT);
+static QUIET: AtomicBool = AtomicBool::new(false);
+static QUIET_INIT: AtomicBool = AtomicBool::new(false);
+
+#[cold]
+fn init_level() -> TraceLevel {
+    let level = std::env::var(TRACE_ENV_VAR)
+        .map(|v| TraceLevel::from_env_str(&v))
+        .unwrap_or(TraceLevel::Off);
+    // Racing initializers agree (same env), and a concurrent `set_level`
+    // wins via the compare_exchange failure path.
+    match LEVEL.compare_exchange(UNINIT, level.as_u8(), Ordering::Relaxed, Ordering::Relaxed) {
+        Ok(_) => level,
+        Err(current) => TraceLevel::from_u8(current),
+    }
+}
+
+/// Raw level byte for the hottest disabled-path checks: `0` is
+/// [`TraceLevel::Off`] *after initialization*; the [`UNINIT`] sentinel
+/// reads as non-zero, steering first calls into the slow path that runs
+/// [`init_level`]. One relaxed load, one compare — no enum decode.
+#[inline(always)]
+pub(crate) fn raw_level_is_off() -> bool {
+    LEVEL.load(Ordering::Relaxed) == TraceLevel::Off.as_u8()
+}
+
+/// The active trace level. One relaxed load on the steady-state path.
+#[inline]
+pub fn level() -> TraceLevel {
+    match LEVEL.load(Ordering::Relaxed) {
+        UNINIT => init_level(),
+        v => TraceLevel::from_u8(v),
+    }
+}
+
+/// Whether any tracing is active (`level() != Off`).
+#[inline]
+pub fn enabled() -> bool {
+    level() != TraceLevel::Off
+}
+
+/// Overrides the trace level for the whole process (benches flip between
+/// disabled/spans/full; tests pin a known state).
+pub fn set_level(new: TraceLevel) {
+    LEVEL.store(new.as_u8(), Ordering::Relaxed);
+}
+
+/// Whether diagnostic events mirror to stderr. Defaults from
+/// `HETEROMAP_QUIET`; bench binaries set it from `--quiet`.
+pub fn quiet() -> bool {
+    if !QUIET_INIT.load(Ordering::Relaxed) {
+        let q = std::env::var(QUIET_ENV_VAR)
+            .map(|v| matches!(v.trim(), "1" | "true" | "yes"))
+            .unwrap_or(false);
+        QUIET.store(q, Ordering::Relaxed);
+        QUIET_INIT.store(true, Ordering::Relaxed);
+    }
+    QUIET.load(Ordering::Relaxed)
+}
+
+/// Suppresses (or restores) the diagnostic stderr mirror.
+pub fn set_quiet(quiet: bool) {
+    QUIET_INIT.store(true, Ordering::Relaxed);
+    QUIET.store(quiet, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_strings_parse_conservatively() {
+        assert_eq!(TraceLevel::from_env_str("off"), TraceLevel::Off);
+        assert_eq!(TraceLevel::from_env_str("spans"), TraceLevel::Spans);
+        assert_eq!(TraceLevel::from_env_str("SPANS"), TraceLevel::Spans);
+        assert_eq!(TraceLevel::from_env_str(" full "), TraceLevel::Full);
+        assert_eq!(TraceLevel::from_env_str("banana"), TraceLevel::Off);
+        assert_eq!(TraceLevel::from_env_str(""), TraceLevel::Off);
+    }
+
+    #[test]
+    fn levels_are_ordered() {
+        assert!(TraceLevel::Off < TraceLevel::Spans);
+        assert!(TraceLevel::Spans < TraceLevel::Full);
+    }
+
+    #[test]
+    fn u8_round_trip() {
+        for l in [TraceLevel::Off, TraceLevel::Spans, TraceLevel::Full] {
+            assert_eq!(TraceLevel::from_u8(l.as_u8()), l);
+            assert_eq!(TraceLevel::from_env_str(&l.to_string()), l);
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! The structured event log: bounded, timestamped, with a quiet-aware
+//! stderr mirror.
+//!
+//! Events cover the rare-but-important happenings spans don't capture well:
+//! injected faults, retry/backoff decisions, failovers, cache
+//! invalidations, lenient database reads. Two entry points:
+//!
+//! * [`event`] — records silently (when the level is
+//!   [`TraceLevel::Full`](crate::TraceLevel::Full)); for high-volume
+//!   machinery events like per-attempt fault draws;
+//! * [`diag`] — additionally mirrors to stderr unless
+//!   [`quiet`](crate::quiet) is set; the structured replacement for the
+//!   ad-hoc `eprintln!` diagnostics it supersedes. Diagnostics print even
+//!   with tracing off — turning tracing on must never be a precondition for
+//!   seeing a warning.
+//!
+//! The detail string is built lazily (closure) so a disabled, quiet process
+//! never formats anything.
+
+use crate::clock;
+use crate::config::{level, quiet, TraceLevel};
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// One structured event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventRecord {
+    /// Nanoseconds since the trace epoch.
+    pub ts_ns: u64,
+    /// Emitting thread.
+    pub thread: u32,
+    /// Static dotted kind, e.g. `"fault.transient"`, `"cache.invalidate"`.
+    pub kind: &'static str,
+    /// Free-form detail (cause, seed, counts).
+    pub detail: String,
+}
+
+/// Bound on retained events; the oldest are dropped (and counted) beyond it.
+pub const EVENT_LOG_CAPACITY: usize = 4_096;
+
+struct EventLog {
+    events: VecDeque<EventRecord>,
+    dropped: u64,
+}
+
+static EVENTS: Mutex<EventLog> = Mutex::new(EventLog {
+    events: VecDeque::new(),
+    dropped: 0,
+});
+
+fn push(kind: &'static str, detail: String) {
+    let record = EventRecord {
+        ts_ns: clock::now_ns(),
+        thread: clock::thread_id(),
+        kind,
+        detail,
+    };
+    let mut log = EVENTS.lock().unwrap_or_else(|e| e.into_inner());
+    if log.events.len() >= EVENT_LOG_CAPACITY {
+        log.events.pop_front();
+        log.dropped += 1;
+    }
+    log.events.push_back(record);
+}
+
+/// Records a structured event when full tracing is active. `detail` is only
+/// evaluated if the event is recorded.
+pub fn event<F: FnOnce() -> String>(kind: &'static str, detail: F) {
+    if level() == TraceLevel::Full {
+        push(kind, detail());
+    }
+}
+
+/// Records a diagnostic event and mirrors it to stderr unless quiet.
+///
+/// The mirror fires regardless of trace level (this is the replacement for
+/// plain `eprintln!` sites); the structured record additionally lands in
+/// the event log under full tracing.
+pub fn diag<F: FnOnce() -> String>(kind: &'static str, detail: F) {
+    let record = level() == TraceLevel::Full;
+    let mirror = !quiet();
+    if !record && !mirror {
+        return;
+    }
+    let detail = detail();
+    if mirror {
+        eprintln!("[{kind}] {detail}");
+    }
+    if record {
+        push(kind, detail);
+    }
+}
+
+/// Copies out the retained events (oldest first) and the drop count.
+pub fn snapshot_events() -> (Vec<EventRecord>, u64) {
+    let log = EVENTS.lock().unwrap_or_else(|e| e.into_inner());
+    (log.events.iter().cloned().collect(), log.dropped)
+}
+
+/// Clears the event log (benches use this between configurations).
+pub fn reset_events() {
+    let mut log = EVENTS.lock().unwrap_or_else(|e| e.into_inner());
+    log.events.clear();
+    log.dropped = 0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{set_level, set_quiet};
+    use crate::test_lock;
+
+    fn events_of_kind(kind: &str) -> Vec<EventRecord> {
+        snapshot_events()
+            .0
+            .into_iter()
+            .filter(|e| e.kind == kind)
+            .collect()
+    }
+
+    #[test]
+    fn events_record_only_under_full() {
+        let _guard = test_lock();
+        set_level(TraceLevel::Spans);
+        event("event_test.spans", || "ignored".into());
+        assert!(events_of_kind("event_test.spans").is_empty());
+
+        set_level(TraceLevel::Full);
+        event("event_test.full", || "seed=42 cause=test".into());
+        set_level(TraceLevel::Off);
+        let got = events_of_kind("event_test.full");
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].detail, "seed=42 cause=test");
+        assert!(got[0].thread > 0);
+    }
+
+    #[test]
+    fn disabled_event_never_formats() {
+        let _guard = test_lock();
+        set_level(TraceLevel::Off);
+        event("event_test.lazy", || panic!("detail must not be built"));
+    }
+
+    #[test]
+    fn quiet_diag_with_tracing_off_is_free() {
+        let _guard = test_lock();
+        set_level(TraceLevel::Off);
+        set_quiet(true);
+        diag("event_test.quiet", || panic!("detail must not be built"));
+        set_quiet(false);
+    }
+
+    #[test]
+    fn diag_records_under_full_even_when_quiet() {
+        let _guard = test_lock();
+        set_level(TraceLevel::Full);
+        set_quiet(true);
+        diag("event_test.diag", || "warned".into());
+        set_level(TraceLevel::Off);
+        set_quiet(false);
+        let got = events_of_kind("event_test.diag");
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].detail, "warned");
+    }
+
+    #[test]
+    fn log_is_bounded_and_counts_drops() {
+        let _guard = test_lock();
+        set_level(TraceLevel::Full);
+        reset_events();
+        for i in 0..EVENT_LOG_CAPACITY + 10 {
+            event("event_test.flood", move || format!("{i}"));
+        }
+        let (events, dropped) = snapshot_events();
+        set_level(TraceLevel::Off);
+        assert_eq!(events.len(), EVENT_LOG_CAPACITY);
+        assert_eq!(dropped, 10);
+        // Newest survive.
+        assert_eq!(
+            events.last().unwrap().detail,
+            format!("{}", EVENT_LOG_CAPACITY + 9)
+        );
+        reset_events();
+    }
+}

@@ -1,0 +1,373 @@
+//! The flight recorder: lock-free per-thread span ring buffers.
+//!
+//! Every thread that records a span owns one [`SpanRing`] — a fixed-capacity
+//! ring it alone writes to, so recording never takes a lock and never
+//! contends with other threads. Memory is bounded: when the ring wraps, the
+//! oldest spans are overwritten and counted as drops (a flight recorder
+//! keeps the newest history, exactly what you want when a process misbehaves
+//! *now*).
+//!
+//! Snapshots are taken from arbitrary threads through per-slot sequence
+//! numbers (a seqlock): the writer marks a slot odd while overwriting it and
+//! even when stable; readers copy the slot and retry if the sequence moved.
+//! Readers can briefly spin; writers never wait.
+//!
+//! A global registry holds one `Arc` per live ring so [`snapshot_spans`]
+//! can walk all of them; registration happens once per thread (plus once
+//! per [`reset`] generation).
+
+use crate::clock;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One completed span, as stored in the flight recorder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Static span name (e.g. `"predict"`).
+    pub name: &'static str,
+    /// Static category (e.g. `"core"`, `"kernel"`, `"serve"`).
+    pub cat: &'static str,
+    /// Start, nanoseconds since the trace epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Recording thread ([`crate::thread_id`]).
+    pub thread: u32,
+    /// Process-unique span id (never 0).
+    pub id: u64,
+    /// Enclosing span's id on the same thread, or 0 for a root span.
+    pub parent: u64,
+}
+
+impl SpanRecord {
+    const EMPTY: SpanRecord = SpanRecord {
+        name: "",
+        cat: "",
+        start_ns: 0,
+        dur_ns: 0,
+        thread: 0,
+        id: 0,
+        parent: 0,
+    };
+}
+
+struct Slot {
+    /// `2*(write_index+1)` when stable, odd while being overwritten.
+    seq: AtomicU64,
+    data: std::cell::UnsafeCell<SpanRecord>,
+}
+
+/// A single-writer, many-reader bounded span ring.
+///
+/// The owning thread calls [`SpanRing::push`]; any thread may call
+/// [`SpanRing::read`]. Constructing one directly is useful for tests; the
+/// instrumentation macros go through the thread-local registry instead.
+pub struct SpanRing {
+    slots: Box<[Slot]>,
+    /// Total pushes ever; `writes - capacity` of them have been dropped.
+    writes: AtomicU64,
+}
+
+// SAFETY: cross-thread access to `data` is mediated by the per-slot seqlock;
+// torn reads are detected by the sequence check and discarded.
+unsafe impl Sync for SpanRing {}
+unsafe impl Send for SpanRing {}
+
+impl std::fmt::Debug for SpanRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanRing")
+            .field("capacity", &self.slots.len())
+            .field("writes", &self.writes.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl SpanRing {
+    /// Creates a ring holding at most `capacity` spans (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        SpanRing {
+            slots: (0..capacity)
+                .map(|_| Slot {
+                    seq: AtomicU64::new(0),
+                    data: std::cell::UnsafeCell::new(SpanRecord::EMPTY),
+                })
+                .collect(),
+            writes: AtomicU64::new(0),
+        }
+    }
+
+    /// Ring capacity in spans.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total spans ever pushed.
+    pub fn writes(&self) -> u64 {
+        self.writes.load(Ordering::Acquire)
+    }
+
+    /// Spans overwritten before anyone could read them.
+    pub fn dropped(&self) -> u64 {
+        self.writes().saturating_sub(self.slots.len() as u64)
+    }
+
+    /// Appends a span, overwriting the oldest once full.
+    ///
+    /// Must only be called by the ring's owning thread (single-writer
+    /// invariant — upheld by the thread-local registry).
+    pub fn push(&self, record: SpanRecord) {
+        let n = self.writes.load(Ordering::Relaxed);
+        let slot = &self.slots[(n % self.slots.len() as u64) as usize];
+        // Mark the slot unstable, publish the data, mark stable with the
+        // write index encoded so readers can order and dedupe.
+        slot.seq.store(2 * n + 1, Ordering::Release);
+        // SAFETY: single writer; readers validate via `seq`.
+        unsafe { *slot.data.get() = record };
+        slot.seq.store(2 * (n + 1), Ordering::Release);
+        self.writes.store(n + 1, Ordering::Release);
+    }
+
+    /// Copies out the stable contents, oldest first, plus the drop count.
+    ///
+    /// Concurrent pushes may cause individual slots to be skipped (they are
+    /// counted as neither read nor dropped by this call); the returned spans
+    /// are always internally consistent.
+    pub fn read(&self) -> (Vec<SpanRecord>, u64) {
+        let writes = self.writes();
+        let cap = self.slots.len() as u64;
+        let mut out: Vec<(u64, SpanRecord)> = Vec::with_capacity(writes.min(cap) as usize);
+        for slot in self.slots.iter() {
+            // Bounded retries: a hot writer can keep a slot in flux.
+            for _ in 0..16 {
+                let s1 = slot.seq.load(Ordering::Acquire);
+                if s1 == 0 {
+                    break; // Never written.
+                }
+                if s1 % 2 == 1 {
+                    std::hint::spin_loop();
+                    continue; // Mid-overwrite; retry.
+                }
+                // SAFETY: torn reads are possible while racing the writer;
+                // the `seq` recheck below discards them. Volatile keeps the
+                // compiler from folding the read across the fences.
+                let record = unsafe { std::ptr::read_volatile(slot.data.get()) };
+                let s2 = slot.seq.load(Ordering::Acquire);
+                if s1 == s2 {
+                    out.push((s1 / 2 - 1, record));
+                    break;
+                }
+            }
+        }
+        out.sort_by_key(|(idx, _)| *idx);
+        (
+            out.into_iter().map(|(_, r)| r).collect(),
+            writes.saturating_sub(cap),
+        )
+    }
+}
+
+/// Default per-thread ring capacity (spans); ~56 B per slot, so the flight
+/// recorder holds a few hundred KiB per recording thread.
+pub const DEFAULT_RING_CAPACITY: usize = 8_192;
+
+struct Registry {
+    rings: Vec<Arc<SpanRing>>,
+    /// Bumped by [`reset`]; threads holding a stale generation re-register.
+    generation: u64,
+}
+
+static REGISTRY: Mutex<Registry> = Mutex::new(Registry {
+    rings: Vec::new(),
+    generation: 0,
+});
+static GENERATION: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static LOCAL_RING: Cell<Option<(u64, &'static Arc<SpanRing>)>> = const { Cell::new(None) };
+}
+
+fn register_ring() -> (u64, &'static Arc<SpanRing>) {
+    let ring = Arc::new(SpanRing::new(DEFAULT_RING_CAPACITY));
+    let mut reg = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+    reg.rings.push(Arc::clone(&ring));
+    // Leak one Arc per (thread, generation): the flight recorder lives for
+    // the process, and leaking sidesteps thread-teardown ordering issues
+    // with `thread_local` destructors.
+    (reg.generation, Box::leak(Box::new(ring)))
+}
+
+/// Records a span into the calling thread's ring (registering the ring on
+/// first use or after a [`reset`]).
+pub fn record_span(record: SpanRecord) {
+    LOCAL_RING.with(|cell| {
+        let current_gen = GENERATION.load(Ordering::Relaxed);
+        let ring = match cell.get() {
+            Some((generation, ring)) if generation == current_gen => ring,
+            _ => {
+                let (generation, ring) = register_ring();
+                cell.set(Some((generation, ring)));
+                ring
+            }
+        };
+        ring.push(record);
+    });
+}
+
+/// Collects every thread's stable spans, ordered by start time, plus the
+/// total number of spans dropped to ring wraparound.
+pub fn snapshot_spans() -> (Vec<SpanRecord>, u64) {
+    let rings: Vec<Arc<SpanRing>> = {
+        let reg = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+        reg.rings.clone()
+    };
+    let mut spans = Vec::new();
+    let mut dropped = 0u64;
+    for ring in rings {
+        let (mut s, d) = ring.read();
+        spans.append(&mut s);
+        dropped += d;
+    }
+    spans.sort_by_key(|s| (s.start_ns, s.id));
+    (spans, dropped)
+}
+
+/// Discards all recorded spans (each thread transparently re-registers a
+/// fresh ring on its next span). Benches use this between configurations.
+pub fn reset_spans() {
+    let mut reg = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+    reg.rings.clear();
+    reg.generation += 1;
+    GENERATION.store(reg.generation, Ordering::Relaxed);
+}
+
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Allocates a process-unique span id (never 0; 0 means "no parent").
+pub fn next_span_id() -> u64 {
+    NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Convenience constructor for a finished span record.
+pub fn finished_span(
+    name: &'static str,
+    cat: &'static str,
+    start_ns: u64,
+    id: u64,
+    parent: u64,
+) -> SpanRecord {
+    SpanRecord {
+        name,
+        cat,
+        start_ns,
+        dur_ns: clock::now_ns().saturating_sub(start_ns),
+        thread: clock::thread_id(),
+        id,
+        parent,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(i: u64) -> SpanRecord {
+        SpanRecord {
+            name: "t",
+            cat: "test",
+            start_ns: i,
+            dur_ns: 1,
+            thread: 1,
+            id: i + 1,
+            parent: 0,
+        }
+    }
+
+    #[test]
+    fn ring_preserves_everything_under_capacity() {
+        let ring = SpanRing::new(8);
+        for i in 0..5 {
+            ring.push(rec(i));
+        }
+        let (spans, dropped) = ring.read();
+        assert_eq!(dropped, 0);
+        assert_eq!(
+            spans.iter().map(|s| s.start_ns).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn wraparound_keeps_newest_and_counts_drops() {
+        let ring = SpanRing::new(4);
+        for i in 0..10 {
+            ring.push(rec(i));
+        }
+        let (spans, dropped) = ring.read();
+        assert_eq!(dropped, 6, "10 pushed into capacity 4");
+        assert_eq!(
+            spans.iter().map(|s| s.start_ns).collect::<Vec<_>>(),
+            vec![6, 7, 8, 9],
+            "the newest spans survive, oldest first"
+        );
+        assert_eq!(ring.dropped(), 6);
+    }
+
+    #[test]
+    fn capacity_of_zero_is_clamped_to_one() {
+        let ring = SpanRing::new(0);
+        assert_eq!(ring.capacity(), 1);
+        ring.push(rec(0));
+        ring.push(rec(1));
+        let (spans, dropped) = ring.read();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].start_ns, 1);
+        assert_eq!(dropped, 1);
+    }
+
+    #[test]
+    fn concurrent_reads_see_only_coherent_records() {
+        let ring = Arc::new(SpanRing::new(64));
+        let writer = {
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || {
+                for i in 0..50_000u64 {
+                    // id and start_ns move in lockstep so a torn read is
+                    // detectable as a mismatch.
+                    ring.push(SpanRecord {
+                        name: "w",
+                        cat: "test",
+                        start_ns: i,
+                        dur_ns: i,
+                        thread: 7,
+                        id: i + 1,
+                        parent: 0,
+                    });
+                }
+            })
+        };
+        let mut snapshots = 0;
+        while !writer.is_finished() {
+            let (spans, _) = ring.read();
+            for s in spans {
+                assert_eq!(s.id, s.start_ns + 1, "torn read escaped the seqlock");
+                assert_eq!(s.dur_ns, s.start_ns);
+            }
+            snapshots += 1;
+        }
+        writer.join().unwrap();
+        assert!(snapshots > 0);
+        let (spans, dropped) = ring.read();
+        assert_eq!(spans.len(), 64);
+        assert_eq!(dropped, 50_000 - 64);
+    }
+
+    #[test]
+    fn span_ids_are_unique() {
+        let a = next_span_id();
+        let b = next_span_id();
+        assert_ne!(a, b);
+        assert_ne!(a, 0);
+    }
+}

@@ -1,0 +1,203 @@
+//! RAII span guards and the thread-local parent stack.
+
+use crate::clock;
+use crate::config::{level, TraceLevel};
+use crate::recorder::{self, SpanRecord};
+use std::cell::RefCell;
+
+thread_local! {
+    /// Ids of the spans currently open on this thread, innermost last.
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// An open span; records itself into the flight recorder on drop.
+///
+/// Obtained from [`span`]/[`span_cat`] (or the [`crate::span!`] macro).
+/// When tracing is off the guard is inert: no clock read, no allocation,
+/// nothing recorded.
+#[derive(Debug)]
+#[must_use = "a span measures the scope holding its guard"]
+pub struct SpanGuard {
+    active: Option<ActiveSpan>,
+}
+
+#[derive(Debug)]
+struct ActiveSpan {
+    name: &'static str,
+    cat: &'static str,
+    start_ns: u64,
+    id: u64,
+    parent: u64,
+}
+
+/// Opens a span in the default `"app"` category.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    span_cat(name, "app")
+}
+
+/// Opens a span under an explicit category (used as the chrome://tracing
+/// `cat` field and for per-layer filtering).
+///
+/// The disabled check is a raw byte compare so span sites in sub-µs hot
+/// paths (the per-schedule pipeline) stay within the 1% overhead budget;
+/// the uninitialized sentinel reads as "not off" and falls into the cold
+/// path, which resolves the level from the environment.
+#[inline]
+pub fn span_cat(name: &'static str, cat: &'static str) -> SpanGuard {
+    if crate::config::raw_level_is_off() {
+        return SpanGuard { active: None };
+    }
+    span_cat_cold(name, cat)
+}
+
+#[cold]
+fn span_cat_cold(name: &'static str, cat: &'static str) -> SpanGuard {
+    if level() == TraceLevel::Off {
+        // First span before the lazy env read resolved the level to Off.
+        return SpanGuard { active: None };
+    }
+    let id = recorder::next_span_id();
+    let parent = SPAN_STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let parent = stack.last().copied().unwrap_or(0);
+        stack.push(id);
+        parent
+    });
+    SpanGuard {
+        active: Some(ActiveSpan {
+            name,
+            cat,
+            start_ns: clock::now_ns(),
+            id,
+            parent,
+        }),
+    }
+}
+
+impl SpanGuard {
+    /// Whether this guard is actually recording.
+    pub fn is_recording(&self) -> bool {
+        self.active.is_some()
+    }
+
+    /// The span's id (0 when tracing is off).
+    pub fn id(&self) -> u64 {
+        self.active.as_ref().map_or(0, |a| a.id)
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(active) = self.active.take() else {
+            return;
+        };
+        SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Guards drop in LIFO order in well-formed code; tolerate
+            // out-of-order drops (e.g. a guard moved into a struct) by
+            // removing the id wherever it sits.
+            if stack.last() == Some(&active.id) {
+                stack.pop();
+            } else if let Some(pos) = stack.iter().rposition(|&id| id == active.id) {
+                stack.remove(pos);
+            }
+        });
+        // Level may have flipped while the span was open; record anyway —
+        // the start was measured, and losing closing spans on a live
+        // toggle is worse than one extra record.
+        recorder::record_span(recorder::finished_span(
+            active.name,
+            active.cat,
+            active.start_ns,
+            active.id,
+            active.parent,
+        ));
+    }
+}
+
+/// Opens a [`SpanGuard`]: `span!("predict")` or `span!("predict", "core")`.
+///
+/// Binds nothing by itself — assign it (`let _span = span!(...)`) so the
+/// guard lives for the scope being measured.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span($name)
+    };
+    ($name:expr, $cat:expr) => {
+        $crate::span_cat($name, $cat)
+    };
+}
+
+/// Returns all recorded spans matching `name` (test helper; snapshots the
+/// whole flight recorder).
+pub fn spans_named(name: &str) -> Vec<SpanRecord> {
+    recorder::snapshot_spans()
+        .0
+        .into_iter()
+        .filter(|s| s.name == name)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::set_level;
+    use crate::test_lock;
+
+    #[test]
+    fn disabled_spans_are_inert() {
+        let _guard = test_lock();
+        set_level(TraceLevel::Off);
+        let s = span("span_test_disabled");
+        assert!(!s.is_recording());
+        assert_eq!(s.id(), 0);
+        drop(s);
+        assert!(spans_named("span_test_disabled").is_empty());
+    }
+
+    #[test]
+    fn nested_spans_link_parents() {
+        let _guard = test_lock();
+        set_level(TraceLevel::Spans);
+        {
+            let outer = span_cat("span_test_outer", "test");
+            let outer_id = outer.id();
+            {
+                let inner = span!("span_test_inner", "test");
+                assert!(inner.is_recording());
+            }
+            assert!(outer_id != 0);
+        }
+        set_level(TraceLevel::Off);
+        let outer = spans_named("span_test_outer");
+        let inner = spans_named("span_test_inner");
+        assert_eq!(outer.len(), 1);
+        assert_eq!(inner.len(), 1);
+        assert_eq!(inner[0].parent, outer[0].id);
+        assert_eq!(outer[0].parent, 0);
+        assert!(inner[0].start_ns >= outer[0].start_ns);
+        assert!(inner[0].dur_ns <= outer[0].dur_ns);
+        assert_eq!(outer[0].cat, "test");
+    }
+
+    #[test]
+    fn sibling_spans_share_a_parent() {
+        let _guard = test_lock();
+        set_level(TraceLevel::Spans);
+        {
+            let root = span!("span_test_root");
+            let _ = root.id();
+            let _a = span!("span_test_sib_a");
+            drop(_a);
+            let _b = span!("span_test_sib_b");
+        }
+        set_level(TraceLevel::Off);
+        let root = spans_named("span_test_root");
+        let a = spans_named("span_test_sib_a");
+        let b = spans_named("span_test_sib_b");
+        assert_eq!(a[0].parent, root[0].id);
+        assert_eq!(b[0].parent, root[0].id);
+    }
+}

@@ -1,0 +1,279 @@
+//! Per-worker utilization accounting — the runtime analogue of the paper's
+//! Fig. 13 core-utilization measurement.
+//!
+//! The execution engine reports one [`RegionUtil`] per parallel region: the
+//! region's wall time plus each participating worker's busy nanoseconds.
+//! Aggregation turns those into per-worker busy/parked totals and an
+//! occupancy fraction (`busy / wall-while-participating`), which is exactly
+//! what the paper measures per deployed `(B, I, M)` combination.
+//!
+//! Regions are labelled by a thread-local region label (set by the kernel
+//! runner to the workload name) so a report can be sliced per kernel.
+
+use std::cell::Cell;
+use std::sync::Mutex;
+
+/// Utilization sample for one parallel region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionUtil {
+    /// Region label (workload name, or `"region"` when unlabelled).
+    pub label: &'static str,
+    /// Region wall-clock nanoseconds (entry to barrier exit).
+    pub wall_ns: u64,
+    /// Busy nanoseconds per participating worker, indexed by worker id
+    /// (index 0 is the calling thread).
+    pub busy_ns: Vec<u64>,
+}
+
+/// Bound on retained region samples.
+pub const REGION_LOG_CAPACITY: usize = 65_536;
+
+struct RegionLog {
+    regions: Vec<RegionUtil>,
+    dropped: u64,
+}
+
+static REGIONS: Mutex<RegionLog> = Mutex::new(RegionLog {
+    regions: Vec::new(),
+    dropped: 0,
+});
+
+/// Records one region's utilization sample.
+pub fn record_region(label: &'static str, wall_ns: u64, busy_ns: Vec<u64>) {
+    let mut log = REGIONS.lock().unwrap_or_else(|e| e.into_inner());
+    if log.regions.len() >= REGION_LOG_CAPACITY {
+        log.dropped += 1;
+        return;
+    }
+    log.regions.push(RegionUtil {
+        label,
+        wall_ns,
+        busy_ns,
+    });
+}
+
+/// Copies out the retained region samples and the drop count.
+pub fn snapshot_regions() -> (Vec<RegionUtil>, u64) {
+    let log = REGIONS.lock().unwrap_or_else(|e| e.into_inner());
+    (log.regions.clone(), log.dropped)
+}
+
+/// Clears retained region samples.
+pub fn reset_regions() {
+    let mut log = REGIONS.lock().unwrap_or_else(|e| e.into_inner());
+    log.regions.clear();
+    log.dropped = 0;
+}
+
+thread_local! {
+    static REGION_LABEL: Cell<&'static str> = const { Cell::new("region") };
+}
+
+/// The calling thread's current region label.
+pub fn current_region_label() -> &'static str {
+    REGION_LABEL.with(Cell::get)
+}
+
+/// Scoped region label: parallel regions entered while the guard lives are
+/// recorded under `label`.
+#[must_use = "the label only applies while the guard is alive"]
+#[derive(Debug)]
+pub struct RegionLabelGuard {
+    previous: &'static str,
+}
+
+/// Sets the thread-local region label for the guard's lifetime.
+pub fn region_scope(label: &'static str) -> RegionLabelGuard {
+    RegionLabelGuard {
+        previous: REGION_LABEL.with(|l| l.replace(label)),
+    }
+}
+
+impl Drop for RegionLabelGuard {
+    fn drop(&mut self) {
+        REGION_LABEL.with(|l| l.set(self.previous));
+    }
+}
+
+/// Aggregated utilization for one worker index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerUtil {
+    /// Worker index (0 = the calling thread of each region).
+    pub worker: usize,
+    /// Total busy nanoseconds across participated regions.
+    pub busy_ns: u64,
+    /// Total parked nanoseconds while a participated region was running.
+    pub parked_ns: u64,
+    /// `busy / (busy + parked)`; `NaN` if the worker never participated.
+    pub occupancy: f64,
+}
+
+/// The aggregated core-utilization report (Fig. 13 analogue).
+#[derive(Debug, Clone, PartialEq)]
+pub struct UtilizationReport {
+    /// Per-worker totals, indexed by worker id.
+    pub workers: Vec<WorkerUtil>,
+    /// Regions aggregated.
+    pub regions: usize,
+    /// Sum of region wall times, nanoseconds.
+    pub total_wall_ns: u64,
+    /// Region samples dropped to the capacity bound.
+    pub dropped: u64,
+}
+
+impl UtilizationReport {
+    /// Aggregates explicit region samples (tests hand-build scenarios;
+    /// production code goes through [`utilization_report`]).
+    pub fn from_regions(regions: &[RegionUtil], dropped: u64) -> Self {
+        let width = regions.iter().map(|r| r.busy_ns.len()).max().unwrap_or(0);
+        let mut workers: Vec<WorkerUtil> = (0..width)
+            .map(|worker| WorkerUtil {
+                worker,
+                busy_ns: 0,
+                parked_ns: 0,
+                occupancy: f64::NAN,
+            })
+            .collect();
+        let mut total_wall_ns = 0u64;
+        for region in regions {
+            total_wall_ns += region.wall_ns;
+            for (worker, &busy) in region.busy_ns.iter().enumerate() {
+                // Busy can measure marginally past the region barrier;
+                // clamp so parked time never underflows.
+                let busy = busy.min(region.wall_ns);
+                workers[worker].busy_ns += busy;
+                workers[worker].parked_ns += region.wall_ns - busy;
+            }
+        }
+        for w in &mut workers {
+            let span = w.busy_ns + w.parked_ns;
+            if span > 0 {
+                w.occupancy = w.busy_ns as f64 / span as f64;
+            }
+        }
+        UtilizationReport {
+            workers,
+            regions: regions.len(),
+            total_wall_ns,
+            dropped,
+        }
+    }
+
+    /// Total busy nanoseconds across all workers.
+    pub fn total_busy_ns(&self) -> u64 {
+        self.workers.iter().map(|w| w.busy_ns).sum()
+    }
+
+    /// Mean occupancy over workers that participated at all.
+    pub fn mean_occupancy(&self) -> f64 {
+        let used: Vec<f64> = self
+            .workers
+            .iter()
+            .map(|w| w.occupancy)
+            .filter(|o| o.is_finite())
+            .collect();
+        if used.is_empty() {
+            f64::NAN
+        } else {
+            used.iter().sum::<f64>() / used.len() as f64
+        }
+    }
+}
+
+/// Aggregates every retained region sample into a report.
+pub fn utilization_report() -> UtilizationReport {
+    let (regions, dropped) = snapshot_regions();
+    UtilizationReport::from_regions(&regions, dropped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_worker_scenario_matches_hand_computation() {
+        // Region A: wall 100; worker0 busy 60, worker1 busy 40.
+        // Region B: wall 50; worker0 busy 50 (worker1 absent).
+        let regions = vec![
+            RegionUtil {
+                label: "a",
+                wall_ns: 100,
+                busy_ns: vec![60, 40],
+            },
+            RegionUtil {
+                label: "b",
+                wall_ns: 50,
+                busy_ns: vec![50],
+            },
+        ];
+        let report = UtilizationReport::from_regions(&regions, 0);
+        assert_eq!(report.regions, 2);
+        assert_eq!(report.total_wall_ns, 150);
+        let w0 = &report.workers[0];
+        let w1 = &report.workers[1];
+        assert_eq!((w0.busy_ns, w0.parked_ns), (110, 40));
+        assert_eq!((w1.busy_ns, w1.parked_ns), (40, 60));
+        assert!((w0.occupancy - 110.0 / 150.0).abs() < 1e-12);
+        assert!((w1.occupancy - 0.4).abs() < 1e-12);
+        assert_eq!(report.total_busy_ns(), 150);
+    }
+
+    #[test]
+    fn busy_never_exceeds_wall_times_workers() {
+        let regions = vec![
+            RegionUtil {
+                label: "x",
+                wall_ns: 10,
+                // Busy overshoot (timer skew) is clamped to the wall.
+                busy_ns: vec![25, 10, 3],
+            },
+            RegionUtil {
+                label: "x",
+                wall_ns: 7,
+                busy_ns: vec![7, 7, 7],
+            },
+        ];
+        let report = UtilizationReport::from_regions(&regions, 0);
+        let workers = report.workers.len() as u64;
+        assert!(report.total_busy_ns() <= report.total_wall_ns * workers);
+        for w in &report.workers {
+            assert!(w.occupancy <= 1.0);
+        }
+    }
+
+    #[test]
+    fn empty_report_is_nan_occupancy() {
+        let report = UtilizationReport::from_regions(&[], 0);
+        assert!(report.workers.is_empty());
+        assert!(report.mean_occupancy().is_nan());
+        assert_eq!(report.total_busy_ns(), 0);
+    }
+
+    #[test]
+    fn region_label_scopes_nest_and_restore() {
+        assert_eq!(current_region_label(), "region");
+        {
+            let _outer = region_scope("bfs");
+            assert_eq!(current_region_label(), "bfs");
+            {
+                let _inner = region_scope("pagerank");
+                assert_eq!(current_region_label(), "pagerank");
+            }
+            assert_eq!(current_region_label(), "bfs");
+        }
+        assert_eq!(current_region_label(), "region");
+    }
+
+    #[test]
+    fn recorded_regions_round_trip_through_the_global_log() {
+        record_region("util_test_unique_label", 42, vec![21, 7]);
+        let (regions, _) = snapshot_regions();
+        let mine: Vec<&RegionUtil> = regions
+            .iter()
+            .filter(|r| r.label == "util_test_unique_label")
+            .collect();
+        assert_eq!(mine.len(), 1);
+        assert_eq!(mine[0].wall_ns, 42);
+        assert_eq!(mine[0].busy_ns, vec![21, 7]);
+    }
+}

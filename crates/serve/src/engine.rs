@@ -234,6 +234,7 @@ impl ServeEngine {
 
     /// Serves a fully custom workload context.
     pub fn schedule_context(&self, ctx: &WorkloadContext) -> Served {
+        let _span = heteromap_obs::span_cat("serve", "serve");
         let start = Instant::now();
         let model = self.model.read().expect("model lock poisoned");
         let i = model.ivector(&ctx.stats);
@@ -315,6 +316,7 @@ impl ServeEngine {
         };
         if !owner {
             self.metrics.single_flight_waits.inc();
+            let _span = heteromap_obs::span_cat("batch.wait", "serve");
             return slot.wait();
         }
 
@@ -349,6 +351,7 @@ impl ServeEngine {
                 std::thread::yield_now();
                 continue;
             }
+            let _span = heteromap_obs::span_cat("batch.assemble", "serve");
             let queries: Vec<(BVector, IVector)> = batch.iter().map(|it| (it.b, it.i)).collect();
             let predictions = model.predict_configs(&queries);
             self.metrics.batches.inc();
@@ -374,6 +377,7 @@ impl ServeEngine {
     pub fn invalidate(&self) {
         self.cache.invalidate();
         self.metrics.cache_invalidations.inc();
+        heteromap_obs::event("cache.invalidate", || "cause=explicit".to_string());
     }
 
     /// Installs a new fault plan and invalidates the cache atomically (the
@@ -384,6 +388,7 @@ impl ServeEngine {
         model.set_fault_plan(plan);
         self.cache.invalidate();
         self.metrics.cache_invalidations.inc();
+        heteromap_obs::event("cache.invalidate", || "cause=fault_plan_change".to_string());
     }
 
     /// Swaps in a new predictor (e.g. a freshly re-trained model, §VII-D)
@@ -393,6 +398,7 @@ impl ServeEngine {
         model.set_predictor(predictor);
         self.cache.invalidate();
         self.metrics.cache_invalidations.inc();
+        heteromap_obs::event("cache.invalidate", || "cause=predictor_swap".to_string());
     }
 
     /// Runs a closure against the wrapped model (read-locked).

@@ -111,10 +111,13 @@ impl Histogram {
 
     /// Records one sample (negative/NaN samples count into bucket 0).
     pub fn record(&self, v: f64) {
+        // "Not greater than the bound" is `v <= b` for real samples and
+        // true for NaN, so NaN lands in bucket 0 as documented instead of
+        // the overflow bucket a plain `v <= b` would send it to.
         let idx = self
             .bounds
             .iter()
-            .position(|&b| v <= b)
+            .position(|&b| !matches!(v.partial_cmp(&b), Some(std::cmp::Ordering::Greater)))
             .unwrap_or(self.bounds.len());
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
@@ -368,21 +371,24 @@ pub struct MetricsSnapshot {
     pub extra: Vec<(String, u64)>,
 }
 
+/// Fixed-precision rendering for latency/ratio fields; non-finite values
+/// become `null` via the shared writer.
 fn json_num(v: f64) -> String {
     if v.is_finite() {
         format!("{v:.6}")
     } else {
-        "null".into()
+        heteromap_obs::json::num(v)
     }
 }
 
 impl MetricsSnapshot {
-    /// Renders the snapshot as a JSON object (hand-rolled — the workspace
-    /// vendors no serde_json; non-finite values render as `null`).
+    /// Renders the snapshot as a JSON object via the shared
+    /// [`heteromap_obs::json`] writer (the workspace vendors no serde_json;
+    /// non-finite values render as `null`).
     pub fn to_json(&self) -> String {
         let mut s = String::from("{\n");
         let mut field = |k: &str, v: String| {
-            s.push_str(&format!("  \"{k}\": {v},\n"));
+            s.push_str(&format!("  {}: {v},\n", heteromap_obs::json::escape(k)));
         };
         field("cache_hits", self.cache_hits.to_string());
         field("cache_misses", self.cache_misses.to_string());
@@ -414,7 +420,7 @@ impl MetricsSnapshot {
         let extras: Vec<String> = self
             .extra
             .iter()
-            .map(|(k, v)| format!("\"{k}\": {v}"))
+            .map(|(k, v)| format!("{}: {v}", heteromap_obs::json::escape(k)))
             .collect();
         s.push_str(&format!("  \"extra\": {{{}}}\n", extras.join(", ")));
         s.push('}');
@@ -478,6 +484,103 @@ mod tests {
     fn empty_histogram_quantile_is_nan() {
         assert!(Histogram::latency_ms().quantile(0.5).is_nan());
         assert!(Histogram::latency_ms().mean().is_nan());
+    }
+
+    #[test]
+    fn quantiles_on_a_known_distribution() {
+        // 100 samples, exactly one per 0.01 step in (0, 1.0]: sample k is
+        // (k+1)/100 ms. Ranks are exact, so each quantile must resolve to
+        // the upper bound of the bucket holding that rank.
+        let h = Histogram::latency_ms();
+        for k in 0..100 {
+            h.record((k + 1) as f64 / 100.0);
+        }
+        // Rank 50 is sample 0.50 ms -> bucket (0.2, 0.5].
+        assert_eq!(h.quantile(0.50), 0.5);
+        // Rank 95 is sample 0.95 ms -> bucket (0.5, 1.0].
+        assert_eq!(h.quantile(0.95), 1.0);
+        // Rank 99 is sample 0.99 ms -> same bucket.
+        assert_eq!(h.quantile(0.99), 1.0);
+        // Rank 100 is sample 1.00 ms, on the bucket boundary -> still 1.0.
+        assert_eq!(h.quantile(1.0), 1.0);
+        let mean = h.mean();
+        assert!((mean - 0.505).abs() < 1e-6, "{mean}");
+    }
+
+    #[test]
+    fn boundary_samples_land_in_the_lower_bucket() {
+        // `v <= bound` means a sample exactly on a bound belongs to that
+        // bound's bucket, not the next one.
+        let h = Histogram::latency_ms();
+        h.record(0.005);
+        assert_eq!(h.quantile(1.0), 0.005);
+        let h = Histogram::latency_ms();
+        h.record(0.0050001);
+        assert_eq!(h.quantile(1.0), 0.01);
+    }
+
+    #[test]
+    fn single_sample_dominates_every_quantile() {
+        let h = Histogram::latency_ms();
+        h.record(0.3); // -> 0.5 bucket
+        for q in [0.01, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 0.5, "q={q}");
+        }
+        assert_eq!(h.count(), 1);
+        assert!((h.mean() - 0.3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tiny_and_extreme_quantiles_are_clamped() {
+        let h = Histogram::latency_ms();
+        h.record(0.05);
+        h.record(40.0);
+        // q=0 clamps to rank 1 (the smallest sample's bucket).
+        assert_eq!(h.quantile(0.0), 0.05);
+        assert_eq!(h.quantile(-3.0), 0.05);
+        // q>1 clamps to the full population.
+        assert_eq!(h.quantile(7.0), 50.0);
+    }
+
+    #[test]
+    fn negative_and_nan_samples_count_into_bucket_zero() {
+        let h = Histogram::latency_ms();
+        h.record(-1.0);
+        h.record(f64::NAN);
+        assert_eq!(h.count(), 2);
+        // Both land in the first bucket; they contribute nothing to the sum.
+        assert_eq!(h.quantile(1.0), 0.0001);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn batch_bounds_cover_small_batches_exactly() {
+        let h = Histogram::batch_sizes();
+        for size in [1.0, 2.0, 3.0, 4.0] {
+            h.record(size);
+        }
+        assert_eq!(h.quantile(0.25), 1.0);
+        assert_eq!(h.quantile(0.5), 2.0);
+        assert_eq!(h.quantile(0.75), 3.0);
+        assert_eq!(h.quantile(1.0), 4.0);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q() {
+        let h = Histogram::latency_ms();
+        let samples = [0.003, 0.02, 0.02, 0.4, 1.5, 1.5, 80.0, 4000.0];
+        for s in samples {
+            h.record(s);
+        }
+        let qs = [0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+        let values: Vec<f64> = qs.iter().map(|&q| h.quantile(q)).collect();
+        for pair in values.windows(2) {
+            assert!(pair[0] <= pair[1], "{values:?}");
+        }
+        // And every quantile is a real bucket bound.
+        for v in values {
+            assert!(LATENCY_BOUNDS_MS.contains(&v), "{v}");
+        }
     }
 
     #[test]

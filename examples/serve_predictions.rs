@@ -4,6 +4,11 @@
 //! finishing with the metrics snapshot as JSON.
 //!
 //! Run with: `cargo run --release --example serve_predictions [samples]`
+//!
+//! With tracing enabled — `HETEROMAP_TRACE=full cargo run --release
+//! --example serve_predictions` — the run additionally writes a
+//! chrome://tracing profile (open it at `chrome://tracing` or
+//! <https://ui.perfetto.dev>) and prints the per-phase time table.
 
 use heteromap::HeteroMap;
 use heteromap_accel::system::MultiAcceleratorSystem;
@@ -72,6 +77,18 @@ fn main() {
 
     println!("5. metrics snapshot:");
     println!("{}", engine.metrics().snapshot().to_json());
+
+    if heteromap_obs::enabled() {
+        let trace_path = heteromap_obs::trace_file_path();
+        let snap = heteromap_obs::write_chrome_trace(&trace_path).expect("write chrome trace");
+        println!(
+            "\n6. wrote {} ({} spans, {} events) -- open in chrome://tracing",
+            trace_path.display(),
+            snap.spans.len(),
+            snap.events.len()
+        );
+        print!("{}", snap.phase_table());
+    }
 
     std::fs::remove_file(&path).ok();
 }

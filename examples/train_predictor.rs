@@ -31,7 +31,7 @@ fn main() {
             let lenient = read_database_file_lenient(&path)
                 .unwrap_or_else(|e| panic!("HETEROMAP_DB={path}: {e}"));
             if let Some(summary) = lenient.skip_summary() {
-                eprintln!("   warning: {summary}");
+                heteromap_obs::diag("db.lenient_skip", || format!("path={path} {summary}"));
             }
             lenient.set
         }

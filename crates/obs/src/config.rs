@@ -8,7 +8,7 @@
 //! (`off`/`spans`/`full`, anything else = off); [`set_level`] overrides it
 //! programmatically at any time.
 
-use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU8, Ordering};
 
 /// How much the tracing subsystem records.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
@@ -72,8 +72,9 @@ pub const QUIET_ENV_VAR: &str = "HETEROMAP_QUIET";
 const UNINIT: u8 = u8::MAX;
 
 static LEVEL: AtomicU8 = AtomicU8::new(UNINIT);
-static QUIET: AtomicBool = AtomicBool::new(false);
-static QUIET_INIT: AtomicBool = AtomicBool::new(false);
+/// Tri-state quiet flag: [`UNINIT`], 0 (false), or 1 (true). A single
+/// atomic so initialization cannot race an explicit [`set_quiet`].
+static QUIET: AtomicU8 = AtomicU8::new(UNINIT);
 
 #[cold]
 fn init_level() -> TraceLevel {
@@ -118,23 +119,31 @@ pub fn set_level(new: TraceLevel) {
     LEVEL.store(new.as_u8(), Ordering::Relaxed);
 }
 
+#[cold]
+fn init_quiet() -> bool {
+    let q = std::env::var(QUIET_ENV_VAR)
+        .map(|v| matches!(v.trim(), "1" | "true" | "yes"))
+        .unwrap_or(false);
+    // Racing initializers agree (same env), and a concurrent `set_quiet`
+    // wins via the compare_exchange failure path — same pattern as LEVEL.
+    match QUIET.compare_exchange(UNINIT, q as u8, Ordering::Relaxed, Ordering::Relaxed) {
+        Ok(_) => q,
+        Err(current) => current != 0,
+    }
+}
+
 /// Whether diagnostic events mirror to stderr. Defaults from
 /// `HETEROMAP_QUIET`; bench binaries set it from `--quiet`.
 pub fn quiet() -> bool {
-    if !QUIET_INIT.load(Ordering::Relaxed) {
-        let q = std::env::var(QUIET_ENV_VAR)
-            .map(|v| matches!(v.trim(), "1" | "true" | "yes"))
-            .unwrap_or(false);
-        QUIET.store(q, Ordering::Relaxed);
-        QUIET_INIT.store(true, Ordering::Relaxed);
+    match QUIET.load(Ordering::Relaxed) {
+        UNINIT => init_quiet(),
+        v => v != 0,
     }
-    QUIET.load(Ordering::Relaxed)
 }
 
 /// Suppresses (or restores) the diagnostic stderr mirror.
 pub fn set_quiet(quiet: bool) {
-    QUIET_INIT.store(true, Ordering::Relaxed);
-    QUIET.store(quiet, Ordering::Relaxed);
+    QUIET.store(quiet as u8, Ordering::Relaxed);
 }
 
 #[cfg(test)]
@@ -155,6 +164,15 @@ mod tests {
     fn levels_are_ordered() {
         assert!(TraceLevel::Off < TraceLevel::Spans);
         assert!(TraceLevel::Spans < TraceLevel::Full);
+    }
+
+    #[test]
+    fn set_quiet_overrides_and_sticks() {
+        let _guard = crate::test_lock();
+        set_quiet(true);
+        assert!(quiet());
+        set_quiet(false);
+        assert!(!quiet());
     }
 
     #[test]

@@ -17,8 +17,8 @@
 //! per [`reset`] generation).
 
 use crate::clock;
-use std::cell::Cell;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::RefCell;
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// One completed span, as stored in the flight recorder.
@@ -67,10 +67,16 @@ pub struct SpanRing {
     slots: Box<[Slot]>,
     /// Total pushes ever; `writes - capacity` of them have been dropped.
     writes: AtomicU64,
+    /// Held while a push is in progress. The ring is designed around a
+    /// single-writer invariant; this flag makes that invariant sound even
+    /// if safe code shares the ring and pushes from two threads (the
+    /// second writer spins instead of racing the data write).
+    writer: AtomicBool,
 }
 
-// SAFETY: cross-thread access to `data` is mediated by the per-slot seqlock;
-// torn reads are detected by the sequence check and discarded.
+// SAFETY: writers are mutually excluded by the `writer` flag; cross-thread
+// reads of `data` are mediated by the per-slot seqlock, with torn reads
+// detected by the sequence check and discarded.
 unsafe impl Sync for SpanRing {}
 unsafe impl Send for SpanRing {}
 
@@ -95,6 +101,7 @@ impl SpanRing {
                 })
                 .collect(),
             writes: AtomicU64::new(0),
+            writer: AtomicBool::new(false),
         }
     }
 
@@ -115,18 +122,31 @@ impl SpanRing {
 
     /// Appends a span, overwriting the oldest once full.
     ///
-    /// Must only be called by the ring's owning thread (single-writer
-    /// invariant — upheld by the thread-local registry).
+    /// Intended for the ring's owning thread (the thread-local registry
+    /// upholds this); a second concurrent pusher is tolerated soundly by
+    /// spinning on `writer` rather than racing the slot write. The
+    /// uncontended cost is one compare-exchange and one store.
     pub fn push(&self, record: SpanRecord) {
+        while self
+            .writer
+            .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            std::hint::spin_loop();
+        }
         let n = self.writes.load(Ordering::Relaxed);
         let slot = &self.slots[(n % self.slots.len() as u64) as usize];
-        // Mark the slot unstable, publish the data, mark stable with the
-        // write index encoded so readers can order and dedupe.
-        slot.seq.store(2 * n + 1, Ordering::Release);
-        // SAFETY: single writer; readers validate via `seq`.
+        // Crossbeam-style seqlock write: the odd transition is an AcqRel
+        // RMW so the data write below cannot be hoisted above it, and the
+        // even Release store publishes the data. The write index is
+        // encoded in the stable value so readers can order and dedupe.
+        slot.seq.swap(2 * n + 1, Ordering::AcqRel);
+        // SAFETY: single writer (enforced by `writer` above); readers
+        // validate via `seq`.
         unsafe { *slot.data.get() = record };
         slot.seq.store(2 * (n + 1), Ordering::Release);
         self.writes.store(n + 1, Ordering::Release);
+        self.writer.store(false, Ordering::Release);
     }
 
     /// Copies out the stable contents, oldest first, plus the drop count.
@@ -153,7 +173,11 @@ impl SpanRing {
                 // the `seq` recheck below discards them. Volatile keeps the
                 // compiler from folding the read across the fences.
                 let record = unsafe { std::ptr::read_volatile(slot.data.get()) };
-                let s2 = slot.seq.load(Ordering::Acquire);
+                // The Acquire fence keeps the data read above from sinking
+                // past the validation load (the load alone orders nothing
+                // before it).
+                fence(Ordering::Acquire);
+                let s2 = slot.seq.load(Ordering::Relaxed);
                 if s1 == s2 {
                     out.push((s1 / 2 - 1, record));
                     break;
@@ -185,33 +209,36 @@ static REGISTRY: Mutex<Registry> = Mutex::new(Registry {
 static GENERATION: AtomicU64 = AtomicU64::new(0);
 
 thread_local! {
-    static LOCAL_RING: Cell<Option<(u64, &'static Arc<SpanRing>)>> = const { Cell::new(None) };
+    /// The calling thread's ring (plus the generation it was registered
+    /// under). The thread-local owns one `Arc`; the registry holds the
+    /// other, so re-registering after a [`reset_spans`] drops the stale
+    /// ring instead of leaking it.
+    static LOCAL_RING: RefCell<Option<(u64, Arc<SpanRing>)>> = const { RefCell::new(None) };
 }
 
-fn register_ring() -> (u64, &'static Arc<SpanRing>) {
+fn register_ring() -> (u64, Arc<SpanRing>) {
     let ring = Arc::new(SpanRing::new(DEFAULT_RING_CAPACITY));
     let mut reg = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
     reg.rings.push(Arc::clone(&ring));
-    // Leak one Arc per (thread, generation): the flight recorder lives for
-    // the process, and leaking sidesteps thread-teardown ordering issues
-    // with `thread_local` destructors.
-    (reg.generation, Box::leak(Box::new(ring)))
+    (reg.generation, ring)
 }
 
 /// Records a span into the calling thread's ring (registering the ring on
 /// first use or after a [`reset`]).
 pub fn record_span(record: SpanRecord) {
-    LOCAL_RING.with(|cell| {
+    // `try_with` tolerates TLS teardown: spans recorded while the thread's
+    // destructors run are silently dropped instead of panicking.
+    let _ = LOCAL_RING.try_with(|cell| {
         let current_gen = GENERATION.load(Ordering::Relaxed);
-        let ring = match cell.get() {
-            Some((generation, ring)) if generation == current_gen => ring,
+        let mut local = cell.borrow_mut();
+        match &*local {
+            Some((generation, ring)) if *generation == current_gen => ring.push(record),
             _ => {
                 let (generation, ring) = register_ring();
-                cell.set(Some((generation, ring)));
-                ring
+                ring.push(record);
+                *local = Some((generation, ring));
             }
-        };
-        ring.push(record);
+        }
     });
 }
 
@@ -348,19 +375,53 @@ mod tests {
             })
         };
         let mut snapshots = 0;
-        while !writer.is_finished() {
+        loop {
+            // Snapshot-then-check so at least one read races the writer
+            // (or lands just after it) even if the writer wins the start.
+            let done = writer.is_finished();
             let (spans, _) = ring.read();
             for s in spans {
                 assert_eq!(s.id, s.start_ns + 1, "torn read escaped the seqlock");
                 assert_eq!(s.dur_ns, s.start_ns);
             }
             snapshots += 1;
+            if done {
+                break;
+            }
         }
         writer.join().unwrap();
         assert!(snapshots > 0);
         let (spans, dropped) = ring.read();
         assert_eq!(spans.len(), 64);
         assert_eq!(dropped, 50_000 - 64);
+    }
+
+    #[test]
+    fn concurrent_pushers_are_serialized() {
+        // The single-writer invariant is meant to be upheld by the
+        // registry, but safe code can share a ring; pushes must then
+        // serialize on the writer flag instead of racing.
+        let ring = Arc::new(SpanRing::new(128));
+        let threads: Vec<_> = (0..4u64)
+            .map(|t| {
+                let ring = Arc::clone(&ring);
+                std::thread::spawn(move || {
+                    for i in 0..10_000 {
+                        ring.push(rec(t * 100_000 + i));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let (spans, dropped) = ring.read();
+        assert_eq!(ring.writes(), 40_000);
+        assert_eq!(spans.len(), 128);
+        assert_eq!(dropped, 40_000 - 128);
+        for s in spans {
+            assert_eq!(s.id, s.start_ns + 1, "torn write escaped the writer flag");
+        }
     }
 
     #[test]

@@ -4,6 +4,7 @@ use crate::clock;
 use crate::config::{level, TraceLevel};
 use crate::recorder::{self, SpanRecord};
 use std::cell::RefCell;
+use std::marker::PhantomData;
 
 thread_local! {
     /// Ids of the spans currently open on this thread, innermost last.
@@ -19,6 +20,10 @@ thread_local! {
 #[must_use = "a span measures the scope holding its guard"]
 pub struct SpanGuard {
     active: Option<ActiveSpan>,
+    /// `!Send`: the guard's id sits on the opening thread's `SPAN_STACK`,
+    /// so dropping it on another thread would strand the id there and
+    /// corrupt every later span's parent on the origin thread.
+    _not_send: PhantomData<*const ()>,
 }
 
 #[derive(Debug)]
@@ -46,7 +51,10 @@ pub fn span(name: &'static str) -> SpanGuard {
 #[inline]
 pub fn span_cat(name: &'static str, cat: &'static str) -> SpanGuard {
     if crate::config::raw_level_is_off() {
-        return SpanGuard { active: None };
+        return SpanGuard {
+            active: None,
+            _not_send: PhantomData,
+        };
     }
     span_cat_cold(name, cat)
 }
@@ -55,7 +63,10 @@ pub fn span_cat(name: &'static str, cat: &'static str) -> SpanGuard {
 fn span_cat_cold(name: &'static str, cat: &'static str) -> SpanGuard {
     if level() == TraceLevel::Off {
         // First span before the lazy env read resolved the level to Off.
-        return SpanGuard { active: None };
+        return SpanGuard {
+            active: None,
+            _not_send: PhantomData,
+        };
     }
     let id = recorder::next_span_id();
     let parent = SPAN_STACK.with(|stack| {
@@ -72,6 +83,7 @@ fn span_cat_cold(name: &'static str, cat: &'static str) -> SpanGuard {
             id,
             parent,
         }),
+        _not_send: PhantomData,
     }
 }
 
@@ -145,6 +157,20 @@ mod tests {
     use super::*;
     use crate::config::set_level;
     use crate::test_lock;
+
+    /// Compile-time proof that `SpanGuard` is `!Send`: if it ever became
+    /// `Send`, both blanket impls would apply and this call would fail to
+    /// compile as ambiguous.
+    #[allow(dead_code)]
+    fn span_guard_is_not_send() {
+        trait AmbiguousIfSend<A> {
+            fn check() {}
+        }
+        struct IsSend;
+        impl<T: ?Sized> AmbiguousIfSend<()> for T {}
+        impl<T: ?Sized + Send> AmbiguousIfSend<IsSend> for T {}
+        <SpanGuard as AmbiguousIfSend<_>>::check();
+    }
 
     #[test]
     fn disabled_spans_are_inert() {

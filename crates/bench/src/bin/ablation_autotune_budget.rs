@@ -1,32 +1,36 @@
-//! Ablation: autotuner refinement budget vs optimality gap — the trade-off
-//! behind the paper's "training takes several hours" OpenTuner pass.
+//! Ablation: autotuner evaluation budget vs optimality gap — the trade-off
+//! behind the paper's "training takes several hours" OpenTuner pass — now
+//! comparing the legacy coarse + hill-climb tuner and the `heteromap-tune`
+//! ensemble in one table at matched budgets.
 
 use heteromap_accel::cost::WorkloadContext;
 use heteromap_accel::system::MultiAcceleratorSystem;
 use heteromap_bench::{all_combos, geomean, TextTable};
 use heteromap_predict::Autotuner;
+use heteromap_tune::{EnsembleTuner, Strategy, TuneConfig};
 
 fn main() {
+    heteromap_bench::apply_obs_flags(std::env::args().skip(1));
     let sys = MultiAcceleratorSystem::primary();
     let combos = all_combos();
-    // Reference: the exhaustive tuner.
-    let reference: Vec<f64> = combos
+    let contexts: Vec<WorkloadContext> = combos
         .iter()
-        .map(|&(w, d)| {
-            let ctx = WorkloadContext::for_workload(w, d.stats());
+        .map(|&(w, d)| WorkloadContext::for_workload(w, d.stats()))
+        .collect();
+    // Reference: the exhaustive tuner.
+    let reference: Vec<f64> = contexts
+        .iter()
+        .map(|ctx| {
             Autotuner::exhaustive()
-                .tune(|c| sys.deploy(&ctx, c).time_ms)
+                .tune(|c| sys.deploy(ctx, c).time_ms)
                 .cost
         })
         .collect();
 
     println!("Ablation: autotuner budget vs optimality gap (81 combinations)\n");
-    let mut t = TextTable::new([
-        "coarse stride",
-        "refine budget",
-        "geomean gap(%)",
-        "evals/combo",
-    ]);
+    let mut t = TextTable::new(["tuner", "budget", "geomean gap(%)", "evals/combo"]);
+
+    // Legacy coarse + hill-climb at its historical operating points.
     for (stride, budget) in [
         (31usize, 0usize),
         (31, 20),
@@ -39,18 +43,45 @@ fn main() {
             .with_coarse_stride(stride)
             .with_refine_budget(budget);
         let mut evals = 0usize;
-        let gaps: Vec<f64> = combos
+        let gaps: Vec<f64> = contexts
             .iter()
-            .zip(reference.iter())
-            .map(|(&(w, d), &best)| {
-                let ctx = WorkloadContext::for_workload(w, d.stats());
-                let r = tuner.tune(|c| sys.deploy(&ctx, c).time_ms);
+            .zip(&reference)
+            .map(|(ctx, &best)| {
+                let r = tuner.tune(|c| sys.deploy(ctx, c).time_ms);
                 evals += r.evaluations;
                 r.cost / best
             })
             .collect();
+        let mean_evals = evals / combos.len();
         t.row([
-            stride.to_string(),
+            format!("legacy s{stride}"),
+            format!("{mean_evals}"),
+            format!("{:.1}", (geomean(&gaps) - 1.0) * 100.0),
+            mean_evals.to_string(),
+        ]);
+    }
+
+    // The ensemble at matched total budgets.
+    for budget in [60usize, 120, 240, 480] {
+        let mut evals = 0usize;
+        let gaps: Vec<f64> = contexts
+            .iter()
+            .zip(&reference)
+            .enumerate()
+            .map(|(k, (ctx, &best))| {
+                let out = EnsembleTuner::new(
+                    TuneConfig::default()
+                        .with_budget(budget)
+                        .with_seed(42 + k as u64)
+                        .with_strategy(Strategy::Ensemble),
+                )
+                .tune(|c| sys.deploy(ctx, c).time_ms);
+                evals += out.evaluations;
+                out.cost / best
+            })
+            .collect();
+        t.row([
+            "ensemble".to_string(),
             budget.to_string(),
             format!("{:.1}", (geomean(&gaps) - 1.0) * 100.0),
             (evals / combos.len()).to_string(),
@@ -58,4 +89,5 @@ fn main() {
     }
     println!("{}", t.render());
     println!("Gap is relative to the full exhaustive + 200-step-refined tuner.");
+    println!("See exp_tune_quality for the full budget x strategy sweep and BENCH_tune.json.");
 }

@@ -106,6 +106,24 @@ impl HeteroMap {
         HeteroMap::new(system, Box::new(nn))
     }
 
+    /// Like [`HeteroMap::train_deep_with`], but generates the training
+    /// database with per-sample tuning runs fanned over `threads` workers
+    /// of the kernel thread pool. The database — and therefore the trained
+    /// model — is bit-identical to the serial path's at any worker count,
+    /// so this is a pure wall-clock optimization for large `samples`.
+    pub fn train_deep_parallel(
+        system: MultiAcceleratorSystem,
+        samples: usize,
+        objective: Objective,
+        config: TrainConfig,
+        threads: usize,
+    ) -> Self {
+        let trainer = Trainer::new(system.clone()).with_objective(objective);
+        let db = trainer.generate_database_parallel(samples, config.seed, threads);
+        let nn = NeuralPredictor::train(&db, config);
+        HeteroMap::new(system, Box::new(nn))
+    }
+
     /// Builds HeteroMap from parts.
     pub fn new(
         system: MultiAcceleratorSystem,

@@ -5,9 +5,20 @@
 //! This autotuner plays both roles against the simulator oracle: coarse
 //! exhaustive enumeration of the first-order machine choices followed by
 //! hill-climbing refinement on the 0.1 grid.
+//!
+//! Since the `heteromap-tune` subsystem landed, this type is a thin
+//! compatibility shim over [`heteromap_tune::CoarseRefine`] — the same
+//! coarse + hill-climb trajectory, now with the visited-set memo so the
+//! refinement loop no longer re-evaluates configurations it has already
+//! measured (the duplicate-oracle-call bug of the original loop). The
+//! search trajectory — and therefore every figure built on the "ideal"
+//! baseline — is unchanged: a duplicate's cost is already known and can
+//! never strictly improve on the incumbent best. For ensemble search,
+//! parallel evaluation, and resumable runs, use
+//! [`heteromap_tune::EnsembleTuner`] directly.
 
-use heteromap_model::mspace::MSpace;
 use heteromap_model::MConfig;
+use heteromap_tune::CoarseRefine;
 
 /// Result of a tuning run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -64,45 +75,20 @@ impl Autotuner {
         self
     }
 
-    /// Finds a near-optimal configuration for `oracle`.
-    pub fn tune<F: FnMut(&MConfig) -> f64>(&self, mut oracle: F) -> TuneResult {
-        let space = MSpace::new();
-        let mut evaluations = 0;
-        let mut best = MConfig::gpu_default();
-        let mut best_cost = f64::INFINITY;
-        for cfg in space.enumerate().into_iter().step_by(self.coarse_stride) {
-            let cost = oracle(&cfg);
-            evaluations += 1;
-            if cost < best_cost {
-                best_cost = cost;
-                best = cfg;
-            }
+    /// Finds a near-optimal configuration for `oracle`. Delegates to the
+    /// tuning subsystem's [`CoarseRefine`] strategy; the reported
+    /// `evaluations` counts distinct oracle calls (duplicates are served
+    /// from the visited memo for free).
+    pub fn tune<F: FnMut(&MConfig) -> f64>(&self, oracle: F) -> TuneResult {
+        let outcome = CoarseRefine {
+            coarse_stride: self.coarse_stride,
+            refine_budget: self.refine_budget,
         }
-        // Hill-climb on the fine grid.
-        let mut remaining = self.refine_budget;
-        loop {
-            let mut improved = false;
-            for n in space.neighbors(&best) {
-                if remaining == 0 {
-                    break;
-                }
-                remaining -= 1;
-                let cost = oracle(&n);
-                evaluations += 1;
-                if cost < best_cost {
-                    best_cost = cost;
-                    best = n;
-                    improved = true;
-                }
-            }
-            if !improved || remaining == 0 {
-                break;
-            }
-        }
+        .tune(oracle);
         TuneResult {
-            config: best,
-            cost: best_cost,
-            evaluations,
+            config: outcome.config,
+            cost: outcome.cost,
+            evaluations: outcome.evaluations,
         }
     }
 }
@@ -165,5 +151,25 @@ mod tests {
     #[should_panic(expected = "stride must be positive")]
     fn zero_stride_panics() {
         let _ = Autotuner::fast().with_coarse_stride(0);
+    }
+
+    /// Regression test for the duplicate-evaluation bug: the original refine
+    /// loop re-measured the previous best (a neighbour of every new best) on
+    /// each climb step, burning refine budget on configurations whose cost
+    /// was already known.
+    #[test]
+    fn tune_never_calls_the_oracle_twice_for_the_same_config() {
+        use std::collections::HashSet;
+        let mut seen: HashSet<[u64; heteromap_model::M_DIM]> = HashSet::new();
+        let mut calls = 0usize;
+        let r = Autotuner::exhaustive().tune(|cfg| {
+            calls += 1;
+            assert!(
+                seen.insert(cfg.as_array().map(f64::to_bits)),
+                "oracle called twice for {cfg:?}"
+            );
+            convex_oracle(cfg)
+        });
+        assert_eq!(calls, r.evaluations);
     }
 }

@@ -47,6 +47,6 @@ pub use eval::{Evaluator, LearnerReport};
 pub use knn::KnnPredictor;
 pub use nn::{NeuralPredictor, TrainConfig};
 pub use persist::PersistedModel;
-pub use predictor::{Objective, Predictor, TrainingSample, TrainingSet};
+pub use predictor::{DatabaseSummary, Objective, Predictor, TrainingSample, TrainingSet};
 pub use regression::RegressionPredictor;
 pub use trainer::Trainer;

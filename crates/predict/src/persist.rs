@@ -74,6 +74,9 @@ impl From<io::Error> for PersistError {
 /// Returns any I/O error from the writer.
 pub fn write_database<W: Write>(set: &TrainingSet, mut writer: W) -> Result<(), PersistError> {
     writeln!(writer, "{HEADER}")?;
+    if set.tuning_evaluations() > 0 {
+        writeln!(writer, "meta evaluations {}", set.tuning_evaluations())?;
+    }
     for s in set.samples() {
         let mut line = String::new();
         for v in s.b.as_array() {
@@ -121,7 +124,15 @@ pub fn read_database<R: Read>(reader: R) -> Result<TrainingSet, PersistError> {
     let mut set = TrainingSet::new();
     for (idx, line) in lines.enumerate() {
         let line = line?;
-        if line.trim().is_empty() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(rest) = trimmed.strip_prefix("meta ") {
+            apply_meta(rest, &mut set).map_err(|reason| PersistError::BadRow {
+                line: idx + 2,
+                reason,
+            })?;
             continue;
         }
         let row = parse_row(&line).map_err(|reason| PersistError::BadRow {
@@ -131,6 +142,21 @@ pub fn read_database<R: Read>(reader: R) -> Result<TrainingSet, PersistError> {
         set.push(row);
     }
     Ok(set)
+}
+
+/// Applies a `meta <key> <value>` provenance line to the set under
+/// construction. Unknown keys are ignored for forward compatibility.
+fn apply_meta(rest: &str, set: &mut TrainingSet) -> Result<(), String> {
+    let mut it = rest.split_whitespace();
+    if it.next() == Some("evaluations") {
+        let n: u64 = it
+            .next()
+            .ok_or_else(|| "missing evaluations value".to_string())?
+            .parse()
+            .map_err(|e| format!("bad evaluations value: {e}"))?;
+        set.add_tuning_evaluations(n);
+    }
+    Ok(())
 }
 
 /// Outcome of a lenient database read: the rows that parsed, plus a count
@@ -179,13 +205,20 @@ pub fn read_database_lenient<R: Read>(reader: R) -> Result<LenientRead, PersistE
         if trimmed.is_empty() {
             continue;
         }
-        match parse_row(trimmed) {
-            Ok(row) => set.push(row),
-            Err(reason) => {
-                skipped_rows += 1;
-                if warnings.len() < MAX_LENIENT_WARNINGS {
-                    warnings.push((idx + 2, reason));
+        let parsed = match trimmed.strip_prefix("meta ") {
+            Some(rest) => apply_meta(rest, &mut set).err(),
+            None => match parse_row(trimmed) {
+                Ok(row) => {
+                    set.push(row);
+                    None
                 }
+                Err(reason) => Some(reason),
+            },
+        };
+        if let Some(reason) = parsed {
+            skipped_rows += 1;
+            if warnings.len() < MAX_LENIENT_WARNINGS {
+                warnings.push((idx + 2, reason));
             }
         }
     }
@@ -483,6 +516,34 @@ mod tests {
     }
 
     #[test]
+    fn evaluations_meta_round_trips() {
+        let mut set = TrainingSet::new();
+        set.add_tuning_evaluations(1234);
+        let back = round_trip(&set);
+        assert_eq!(back.tuning_evaluations(), 1234);
+        assert_eq!(back, set);
+    }
+
+    #[test]
+    fn unknown_meta_keys_are_tolerated() {
+        let text = format!("{HEADER}\nmeta flux-capacitance 88\n");
+        let set = read_database(text.as_bytes()).unwrap();
+        assert!(set.is_empty());
+        assert_eq!(set.tuning_evaluations(), 0);
+    }
+
+    #[test]
+    fn malformed_meta_is_rejected_strictly_but_skipped_leniently() {
+        let text = format!("{HEADER}\nmeta evaluations many\n");
+        assert!(matches!(
+            read_database(text.as_bytes()),
+            Err(PersistError::BadRow { line: 2, .. })
+        ));
+        let lenient = read_database_lenient(text.as_bytes()).unwrap();
+        assert_eq!(lenient.skipped_rows, 1);
+    }
+
+    #[test]
     fn wrong_header_is_rejected() {
         let err = read_database("not a database\n".as_bytes()).unwrap_err();
         assert!(matches!(err, PersistError::BadHeader(_)));
@@ -542,8 +603,9 @@ mod tests {
         assert_eq!(lenient.set.len(), set.len());
         assert_eq!(lenient.skipped_rows, 2);
         assert_eq!(lenient.warnings.len(), 2);
-        // Warnings carry 1-based line numbers past the header + 4 rows.
-        assert_eq!(lenient.warnings[0].0, 6);
+        // Warnings carry 1-based line numbers past the header, the
+        // evaluations meta line, and 4 rows.
+        assert_eq!(lenient.warnings[0].0, 7);
         // Strict mode aborts on the same input.
         assert!(matches!(
             read_database(text.as_bytes()),
@@ -580,9 +642,11 @@ mod tests {
         }
         let lenient = read_database_lenient(interleaved.as_bytes()).unwrap();
         assert_eq!(lenient.set.len(), set.len(), "all good rows survive");
-        assert_eq!(lenient.skipped_rows, 3);
+        // Corrupt rows precede every even-indexed line after the header:
+        // the meta line plus the 6 sample rows make 7, so 4 insertions.
+        assert_eq!(lenient.skipped_rows, 4);
         let summary = lenient.skip_summary().expect("skips were recorded");
-        assert!(summary.contains("3 corrupt rows"), "{summary}");
+        assert!(summary.contains("4 corrupt rows"), "{summary}");
         for (a, b) in set.samples().iter().zip(lenient.set.samples()) {
             assert_eq!(a.optimal, b.optimal);
         }

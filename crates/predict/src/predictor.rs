@@ -80,6 +80,9 @@ pub struct TrainingSample {
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct TrainingSet {
     samples: Vec<TrainingSample>,
+    /// Total oracle evaluations the autotuner spent producing the samples
+    /// (provenance; zero for hand-built or pre-subsystem databases).
+    tuning_evaluations: u64,
 }
 
 impl TrainingSet {
@@ -108,6 +111,32 @@ impl TrainingSet {
         self.samples.is_empty()
     }
 
+    /// Total autotuner oracle evaluations spent generating the database.
+    pub fn tuning_evaluations(&self) -> u64 {
+        self.tuning_evaluations
+    }
+
+    /// Adds `n` to the evaluations-spent total (the trainer calls this once
+    /// per tuned sample).
+    pub fn add_tuning_evaluations(&mut self, n: u64) {
+        self.tuning_evaluations += n;
+    }
+
+    /// One-line provenance summary of the database.
+    pub fn summary(&self) -> DatabaseSummary {
+        let gpu = self
+            .samples
+            .iter()
+            .filter(|s| s.optimal.accelerator == heteromap_model::Accelerator::Gpu)
+            .count();
+        DatabaseSummary {
+            samples: self.samples.len(),
+            tuning_evaluations: self.tuning_evaluations,
+            gpu_optimal: gpu,
+            multicore_optimal: self.samples.len() - gpu,
+        }
+    }
+
     /// Looks up the nearest stored sample by `(B, I)` Euclidean distance —
     /// the paper's database "is indexed using B, I tuples to get M
     /// solutions".
@@ -124,6 +153,30 @@ impl TrainingSet {
 impl Extend<TrainingSample> for TrainingSet {
     fn extend<T: IntoIterator<Item = TrainingSample>>(&mut self, iter: T) {
         self.samples.extend(iter);
+    }
+}
+
+/// Provenance summary of a profiler database (what the trainer reports at
+/// the end of a generation run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DatabaseSummary {
+    /// Number of `(B, I, M)` tuples.
+    pub samples: usize,
+    /// Total autotuner oracle evaluations spent.
+    pub tuning_evaluations: u64,
+    /// Samples whose optimum maps to the GPU.
+    pub gpu_optimal: usize,
+    /// Samples whose optimum maps to the multicore.
+    pub multicore_optimal: usize,
+}
+
+impl std::fmt::Display for DatabaseSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} samples ({} gpu-optimal, {} multicore-optimal), {} tuning evaluations",
+            self.samples, self.gpu_optimal, self.multicore_optimal, self.tuning_evaluations
+        )
     }
 }
 

@@ -2,22 +2,57 @@
 //! benchmark-input combinations, autotune each on the multi-accelerator
 //! system, and store the optimal `(B, I, M)` tuples in the profiler
 //! database.
+//!
+//! Two generation paths share one deterministic sampling stream:
+//!
+//! * [`Trainer::generate_database`] — the serial path; tunes one sample at
+//!   a time.
+//! * [`Trainer::generate_database_parallel`] — fans the per-sample tuning
+//!   runs over the `heteromap-kernels` [`ThreadPool`] with pre-assigned
+//!   strided indices and merges results by index. The synthetic `(B, I)`
+//!   stream is drawn serially *before* the fan-out, so the produced
+//!   database is bit-identical to the serial path's at any worker count.
+//!
+//! Each tuned sample can use either the legacy coarse + hill-climb
+//! [`Autotuner`] or the `heteromap-tune` ensemble (see
+//! [`Trainer::with_ensemble`]). Long runs report progress through
+//! [`heteromap_obs::diag`] every [`PROGRESS_INTERVAL`] samples — mirrored
+//! to stderr unless `--quiet` — and the total oracle evaluations spent are
+//! surfaced in the returned set's [`summary`](TrainingSet::summary).
 
 use crate::autotune::Autotuner;
 use crate::predictor::{Objective, TrainingSample, TrainingSet};
-use crate::synth::{SyntheticBenchmarks, SyntheticInputs};
+use crate::synth::{SyntheticBenchmark, SyntheticBenchmarks, SyntheticInputs};
 use heteromap_accel::cost::WorkloadContext;
 use heteromap_accel::system::MultiAcceleratorSystem;
-use heteromap_model::MConfig;
+use heteromap_graph::GraphStats;
+use heteromap_kernels::pool::ThreadPool;
+use heteromap_model::{IVector, MConfig};
+use heteromap_tune::{ensemble, EnsembleTuner, TuneConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Samples between two `trainer.progress` diagnostics.
+pub const PROGRESS_INTERVAL: usize = 16;
+
+/// Which tuner optimizes each synthetic sample.
+#[derive(Debug, Clone)]
+enum SampleTuner {
+    /// The legacy coarse + hill-climb autotuner.
+    Legacy(Autotuner),
+    /// The `heteromap-tune` ensemble; each sample derives its own run seed
+    /// from the config's seed and the sample index.
+    Ensemble(TuneConfig),
+}
 
 /// The offline trainer.
 #[derive(Debug, Clone)]
 pub struct Trainer {
     system: MultiAcceleratorSystem,
     objective: Objective,
-    tuner: Autotuner,
+    tuner: SampleTuner,
 }
 
 impl Trainer {
@@ -26,7 +61,7 @@ impl Trainer {
         Trainer {
             system,
             objective: Objective::Performance,
-            tuner: Autotuner::fast(),
+            tuner: SampleTuner::Legacy(Autotuner::fast()),
         }
     }
 
@@ -39,7 +74,16 @@ impl Trainer {
     /// Replaces the autotuner (e.g. [`Autotuner::exhaustive`] for slower,
     /// closer-to-optimal databases).
     pub fn with_tuner(mut self, tuner: Autotuner) -> Self {
-        self.tuner = tuner;
+        self.tuner = SampleTuner::Legacy(tuner);
+        self
+    }
+
+    /// Tunes each sample with the `heteromap-tune` ensemble instead of the
+    /// legacy coarse sweep. Sample `k` runs with seed
+    /// `mix(config.seed, k)`, so the database stays deterministic per seed
+    /// and identical between the serial and parallel paths.
+    pub fn with_ensemble(mut self, config: TuneConfig) -> Self {
+        self.tuner = SampleTuner::Ensemble(config);
         self
     }
 
@@ -62,33 +106,143 @@ impl Trainer {
         }
     }
 
+    /// Tunes one sample; returns the optimum, its cost, and the oracle
+    /// evaluations spent. The per-sample tuner always evaluates inline
+    /// (`threads = 1`): the pool's regions do not nest, and the parallel
+    /// generation path already owns the pool at the sample level.
+    fn tune_sample(&self, ctx: &WorkloadContext, index: usize) -> (MConfig, f64, usize) {
+        match &self.tuner {
+            SampleTuner::Legacy(tuner) => {
+                let r = tuner.tune(|cfg| self.cost(ctx, cfg));
+                (r.config, r.cost, r.evaluations)
+            }
+            SampleTuner::Ensemble(config) => {
+                let config = config
+                    .clone()
+                    .with_threads(1)
+                    .with_seed(ensemble::mix(config.seed, index as u64));
+                let out = EnsembleTuner::new(config).tune(|cfg| self.cost(ctx, cfg));
+                (out.config, out.cost, out.evaluations)
+            }
+        }
+    }
+
+    /// Draws the synthetic `(B, I)` stream for a run. Serial and parallel
+    /// generation share this, which is what makes their databases
+    /// identical.
+    fn draw_inputs(
+        &self,
+        samples: usize,
+        seed: u64,
+    ) -> Vec<(SyntheticBenchmark, GraphStats, IVector)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bench_gen = SyntheticBenchmarks::new();
+        let input_gen = SyntheticInputs::with_meshes();
+        (0..samples)
+            .map(|_| {
+                let bench = bench_gen.sample(&mut rng);
+                let (stats, i) = input_gen.sample(&mut rng);
+                (bench, stats, i)
+            })
+            .collect()
+    }
+
+    fn progress(done: usize, total: usize, evaluations: u64) {
+        if done.is_multiple_of(PROGRESS_INTERVAL) || done == total {
+            heteromap_obs::diag("trainer.progress", || {
+                format!("tuned {done}/{total} samples ({evaluations} oracle evaluations)")
+            });
+        }
+    }
+
     /// Generates a profiler database of `samples` autotuned synthetic
     /// combinations ("only one M combination tuple is selected, which
     /// provides the best performance").
     pub fn generate_database(&self, samples: usize, seed: u64) -> TrainingSet {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let bench_gen = SyntheticBenchmarks::new();
-        let input_gen = SyntheticInputs::with_meshes();
+        let _span = heteromap_obs::span_cat("trainer.generate", "tune");
         let mut set = TrainingSet::new();
-        for _ in 0..samples {
-            let bench = bench_gen.sample(&mut rng);
-            let (stats, i) = input_gen.sample(&mut rng);
+        for (index, (bench, stats, i)) in self.draw_inputs(samples, seed).into_iter().enumerate() {
             let ctx = WorkloadContext::synthetic(
                 bench.b,
                 stats,
                 bench.iteration_model,
                 bench.work_per_edge,
             );
-            let tuned = self.tuner.tune(|cfg| self.cost(&ctx, cfg));
+            let (optimal, optimal_cost, evaluations) = self.tune_sample(&ctx, index);
             set.push(TrainingSample {
                 b: bench.b,
                 i,
                 stats,
                 iteration_model: bench.iteration_model,
                 work_per_edge: bench.work_per_edge,
-                optimal: tuned.config,
-                optimal_cost: tuned.cost,
+                optimal,
+                optimal_cost,
             });
+            set.add_tuning_evaluations(evaluations as u64);
+            Self::progress(index + 1, samples, set.tuning_evaluations());
+        }
+        set
+    }
+
+    /// Generates the same database as [`Trainer::generate_database`] —
+    /// bit-identical samples, same order — but fans the per-sample tuning
+    /// runs over `threads` workers of the global [`ThreadPool`]. Worker `w`
+    /// tunes sample indices `w, w + threads, ...` and the results are
+    /// merged back by index, so the output does not depend on scheduling.
+    pub fn generate_database_parallel(
+        &self,
+        samples: usize,
+        seed: u64,
+        threads: usize,
+    ) -> TrainingSet {
+        let _span = heteromap_obs::span_cat("trainer.generate_parallel", "tune");
+        let inputs = self.draw_inputs(samples, seed);
+        let contexts: Vec<WorkloadContext> = inputs
+            .iter()
+            .map(|(bench, stats, _)| {
+                WorkloadContext::synthetic(
+                    bench.b,
+                    *stats,
+                    bench.iteration_model,
+                    bench.work_per_edge,
+                )
+            })
+            .collect();
+        let results: Vec<Mutex<Option<(MConfig, f64, usize)>>> =
+            (0..samples).map(|_| Mutex::new(None)).collect();
+        let done = AtomicUsize::new(0);
+        let threads = threads.max(1).min(samples.max(1));
+        ThreadPool::global().run(threads, |w| {
+            let mut index = w;
+            while index < samples {
+                let tuned = self.tune_sample(&contexts[index], index);
+                *results[index].lock().unwrap_or_else(|e| e.into_inner()) = Some(tuned);
+                let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                if finished.is_multiple_of(PROGRESS_INTERVAL) || finished == samples {
+                    heteromap_obs::diag("trainer.progress", || {
+                        format!("tuned {finished}/{samples} samples ({threads} workers)")
+                    });
+                }
+                index += threads;
+            }
+        });
+        let mut set = TrainingSet::new();
+        for (index, (bench, stats, i)) in inputs.into_iter().enumerate() {
+            let (optimal, optimal_cost, evaluations) = results[index]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .take()
+                .expect("every index was assigned to exactly one worker");
+            set.push(TrainingSample {
+                b: bench.b,
+                i,
+                stats,
+                iteration_model: bench.iteration_model,
+                work_per_edge: bench.work_per_edge,
+                optimal,
+                optimal_cost,
+            });
+            set.add_tuning_evaluations(evaluations as u64);
         }
         set
     }
@@ -146,5 +300,39 @@ mod tests {
         let ctx = WorkloadContext::synthetic(s.b, s.stats, s.iteration_model, s.work_per_edge);
         let cfg = MConfig::gpu_default();
         assert_ne!(perf.cost(&ctx, &cfg), energy.cost(&ctx, &cfg));
+    }
+
+    #[test]
+    fn summary_reports_evaluations_spent() {
+        let trainer = Trainer::new(MultiAcceleratorSystem::primary());
+        let set = trainer.generate_database(4, 6);
+        let summary = set.summary();
+        assert_eq!(summary.samples, 4);
+        assert!(summary.tuning_evaluations > 0);
+        assert_eq!(summary.gpu_optimal + summary.multicore_optimal, 4);
+    }
+
+    #[test]
+    fn parallel_database_matches_serial_at_any_worker_count() {
+        let trainer = Trainer::new(MultiAcceleratorSystem::primary());
+        let serial = trainer.generate_database(9, 7);
+        for threads in [1, 3, 8] {
+            let parallel = trainer.generate_database_parallel(9, 7, threads);
+            assert_eq!(parallel, serial, "diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn ensemble_trainer_produces_a_valid_database() {
+        let trainer = Trainer::new(MultiAcceleratorSystem::primary())
+            .with_ensemble(TuneConfig::default().with_budget(60).with_seed(1));
+        let serial = trainer.generate_database(4, 8);
+        assert_eq!(serial.len(), 4);
+        assert!(serial.tuning_evaluations() <= 4 * 60);
+        for s in serial.samples() {
+            assert!(s.optimal_cost.is_finite() && s.optimal_cost > 0.0);
+        }
+        let parallel = trainer.generate_database_parallel(4, 8, 4);
+        assert_eq!(parallel, serial);
     }
 }

@@ -1,0 +1,262 @@
+//! The AUC multi-armed bandit meta-technique.
+//!
+//! OpenTuner coordinates its technique ensemble with a sliding-window
+//! "area under the curve" credit bandit: each technique's recent history of
+//! evaluations is scored by how often (and how *recently*) it produced a
+//! new global best, plus a UCB-style exploration bonus so cold techniques
+//! keep getting sampled. This module reproduces that policy with
+//! deterministic tie-breaking (lowest index wins), which the subsystem's
+//! bit-reproducibility guarantee requires.
+
+use std::collections::VecDeque;
+
+/// Default sliding-window length (recent evaluations per technique).
+pub const DEFAULT_WINDOW: usize = 50;
+
+/// Default exploration coefficient (OpenTuner's `C = 0.05`).
+pub const DEFAULT_EXPLORATION: f64 = 0.05;
+
+/// Weight of the lifetime win-rate term in the selection score. The AUC
+/// window goes silent once the search plateaus (every arm at 0), which
+/// would leave selection to the exploration bonus alone — a uniform
+/// rotation that wastes the tail of a large budget on arms that never
+/// produced anything. The lifetime term keeps the plateau allocated to the
+/// arms with the best whole-run record while staying small enough that a
+/// *recent* winner (AUC up to 1.0) always outranks an old one.
+pub const DEFAULT_LIFETIME_WEIGHT: f64 = 0.5;
+
+/// Sliding-window AUC credit bandit over `n` techniques.
+#[derive(Debug, Clone)]
+pub struct AucBandit {
+    window: usize,
+    exploration: f64,
+    /// Recent outcome history per technique (`true` = produced a new best).
+    history: Vec<VecDeque<bool>>,
+    /// Selections per technique (bumped at selection time so exploration
+    /// spreads even before results come back).
+    uses: Vec<u64>,
+    /// Wins (new global bests) per technique.
+    wins: Vec<u64>,
+    total_uses: u64,
+}
+
+impl AucBandit {
+    /// Creates a bandit over `techniques` arms with the default window and
+    /// exploration constant.
+    pub fn new(techniques: usize) -> Self {
+        Self::with_params(techniques, DEFAULT_WINDOW, DEFAULT_EXPLORATION)
+    }
+
+    /// Creates a bandit with explicit window/exploration parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `techniques` or `window` is zero.
+    pub fn with_params(techniques: usize, window: usize, exploration: f64) -> Self {
+        assert!(techniques > 0, "bandit needs at least one technique");
+        assert!(window > 0, "window must be positive");
+        AucBandit {
+            window,
+            exploration,
+            history: vec![VecDeque::with_capacity(window); techniques],
+            uses: vec![0; techniques],
+            wins: vec![0; techniques],
+            total_uses: 0,
+        }
+    }
+
+    /// Number of arms.
+    pub fn arms(&self) -> usize {
+        self.uses.len()
+    }
+
+    /// Selects the technique for the next evaluation and charges the use.
+    /// Unused techniques are selected first (in index order); afterwards the
+    /// highest AUC + exploration score wins, ties broken by lowest index.
+    pub fn select(&mut self) -> usize {
+        let pick = match (0..self.uses.len()).find(|&t| self.uses[t] == 0) {
+            Some(cold) => cold,
+            None => {
+                let mut best = 0usize;
+                let mut best_score = f64::NEG_INFINITY;
+                for t in 0..self.uses.len() {
+                    let s = self.score(t);
+                    if s > best_score {
+                        best_score = s;
+                        best = t;
+                    }
+                }
+                best
+            }
+        };
+        self.uses[pick] += 1;
+        self.total_uses += 1;
+        pick
+    }
+
+    /// Records the outcome of an evaluation proposed by technique `t`.
+    pub fn record(&mut self, t: usize, new_best: bool) {
+        let h = &mut self.history[t];
+        if h.len() == self.window {
+            h.pop_front();
+        }
+        h.push_back(new_best);
+        if new_best {
+            self.wins[t] += 1;
+        }
+    }
+
+    /// The recency-weighted improvement credit of technique `t` in `[0, 1]`
+    /// (the "area under the receiving-operator curve" of OpenTuner §4.1):
+    /// newer window entries carry linearly more weight.
+    pub fn auc(&self, t: usize) -> f64 {
+        let h = &self.history[t];
+        if h.is_empty() {
+            return 0.0;
+        }
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for (i, &hit) in h.iter().enumerate() {
+            let w = (i + 1) as f64;
+            den += w;
+            if hit {
+                num += w;
+            }
+        }
+        num / den
+    }
+
+    /// Full selection score: AUC exploitation + lifetime win-rate +
+    /// UCB exploration bonus.
+    pub fn score(&self, t: usize) -> f64 {
+        let bonus = if self.uses[t] == 0 {
+            f64::INFINITY
+        } else {
+            self.exploration
+                * (2.0 * (self.total_uses.max(1) as f64).ln() / self.uses[t] as f64).sqrt()
+        };
+        let lifetime = if self.uses[t] == 0 {
+            0.0
+        } else {
+            DEFAULT_LIFETIME_WEIGHT * self.wins[t] as f64 / self.uses[t] as f64
+        };
+        self.auc(t) + lifetime + bonus
+    }
+
+    /// Selections charged to technique `t`.
+    pub fn uses(&self, t: usize) -> u64 {
+        self.uses[t]
+    }
+
+    /// New global bests credited to technique `t`.
+    pub fn wins(&self, t: usize) -> u64 {
+        self.wins[t]
+    }
+
+    /// The current exploitation leader (highest AUC, ties to lowest index).
+    pub fn leader(&self) -> usize {
+        let mut best = 0;
+        let mut best_auc = f64::NEG_INFINITY;
+        for t in 0..self.arms() {
+            let a = self.auc(t);
+            if a > best_auc {
+                best_auc = a;
+                best = t;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_start_visits_every_arm_in_order() {
+        let mut b = AucBandit::new(4);
+        assert_eq!((0..4).map(|_| b.select()).collect::<Vec<_>>(), [0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn winning_arm_dominates_selection() {
+        let mut b = AucBandit::new(3);
+        // Warm every arm, then reward only arm 1.
+        for _ in 0..3 {
+            let t = b.select();
+            b.record(t, t == 1);
+        }
+        let mut picks = [0usize; 3];
+        for _ in 0..60 {
+            let t = b.select();
+            b.record(t, t == 1);
+            picks[t] += 1;
+        }
+        assert!(picks[1] > picks[0] + picks[2], "winner starved: {picks:?}");
+    }
+
+    #[test]
+    fn stale_leader_gets_displaced() {
+        let mut b = AucBandit::with_params(3, 10, 0.05);
+        // Arm 1 wins for a while, then goes cold.
+        for _ in 0..10 {
+            let t = b.select();
+            b.record(t, t == 1);
+        }
+        let mut later = [0usize; 3];
+        for _ in 0..80 {
+            let t = b.select();
+            b.record(t, false);
+            later[t] += 1;
+        }
+        // Once the window forgets arm 1's wins, the exploration bonus must
+        // bring the other arms back into rotation.
+        assert!(
+            later[0] > 0 && later[2] > 0,
+            "stale leader monopolized selection: {later:?}"
+        );
+    }
+
+    #[test]
+    fn auc_weights_recent_outcomes_higher() {
+        let mut early = AucBandit::new(1);
+        let mut late = AucBandit::new(1);
+        // Same number of wins; `late` has them at the window's recent end.
+        for k in 0..10 {
+            early.record(0, k < 3);
+            late.record(0, k >= 7);
+        }
+        assert!(late.auc(0) > early.auc(0));
+    }
+
+    #[test]
+    fn window_forgets_stale_wins() {
+        let mut b = AucBandit::with_params(1, 5, 0.0);
+        b.record(0, true);
+        for _ in 0..5 {
+            b.record(0, false);
+        }
+        assert_eq!(b.auc(0), 0.0, "win outside the window still counted");
+    }
+
+    #[test]
+    fn selection_is_deterministic() {
+        let run = || {
+            let mut b = AucBandit::new(4);
+            let mut picks = Vec::new();
+            for k in 0..100u32 {
+                let t = b.select();
+                b.record(t, (k + t as u32).is_multiple_of(7));
+                picks.push(t);
+            }
+            picks
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one technique")]
+    fn zero_arms_panics() {
+        let _ = AucBandit::new(0);
+    }
+}

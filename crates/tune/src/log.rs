@@ -1,0 +1,374 @@
+//! Persisted, resumable tuning runs.
+//!
+//! A [`TuneLog`] records a run's provenance (seed, strategy, batch width,
+//! budget) plus every oracle evaluation in order. Because the ensemble loop
+//! is a pure function of the seed — proposals are generated serially and
+//! results merged by evaluation index — replaying a log's recorded costs
+//! through the same loop reconstructs the tuner's exact internal state, and
+//! the run then continues live from the first unrecorded evaluation. An
+//! interrupted run therefore resumes to the same final result as an
+//! uninterrupted one.
+//!
+//! The format follows the `heteromap-predict` persistence family: a
+//! versioned magic header and one human-inspectable text line per record,
+//! relying on `f64` `Display` round-tripping for bit-exactness.
+
+use crate::ensemble::{Strategy, TuneConfig};
+use heteromap_model::{MConfig, M_DIM};
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Magic first line of the tuning-run format.
+const HEADER: &str = "heteromap-tune-run v1";
+
+/// Errors while reading or resuming a persisted tuning run.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum TuneLogError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The stream is not a v1 tuning run.
+    BadHeader(String),
+    /// A line could not be parsed.
+    BadRow {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+    /// The log was produced under different run parameters than the tuner
+    /// asked to resume with.
+    Mismatch(String),
+    /// During replay, the tuner proposed a different configuration than the
+    /// log recorded at the same index (different oracle or corrupt log).
+    Diverged {
+        /// Evaluation index at which replay and log disagree.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for TuneLogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TuneLogError::Io(e) => write!(f, "i/o error: {e}"),
+            TuneLogError::BadHeader(h) => write!(f, "unrecognized header {h:?}"),
+            TuneLogError::BadRow { line, reason } => write!(f, "bad row at line {line}: {reason}"),
+            TuneLogError::Mismatch(what) => write!(f, "log/run parameter mismatch: {what}"),
+            TuneLogError::Diverged { index } => {
+                write!(f, "replay diverged from the log at evaluation {index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TuneLogError {}
+
+impl From<io::Error> for TuneLogError {
+    fn from(e: io::Error) -> Self {
+        TuneLogError::Io(e)
+    }
+}
+
+/// One recorded oracle evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalRecord {
+    /// The configuration that was evaluated.
+    pub config: MConfig,
+    /// The oracle's cost for it.
+    pub cost: f64,
+}
+
+/// A persisted tuning run: provenance plus the ordered evaluation history.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuneLog {
+    /// Run seed the proposals derive from.
+    pub seed: u64,
+    /// Search strategy of the run.
+    pub strategy: Strategy,
+    /// Evaluation budget the run was configured with (informational; a
+    /// resume may raise it).
+    pub budget: usize,
+    /// Proposal batch width (must match on resume — it shapes the proposal
+    /// order).
+    pub batch: usize,
+    records: Vec<EvalRecord>,
+}
+
+impl TuneLog {
+    /// An empty log carrying `config`'s provenance.
+    pub fn for_config(config: &TuneConfig) -> Self {
+        TuneLog {
+            seed: config.seed,
+            strategy: config.strategy,
+            budget: config.budget,
+            batch: config.batch,
+            records: Vec::new(),
+        }
+    }
+
+    /// The recorded evaluations, in order.
+    pub fn records(&self) -> &[EvalRecord] {
+        &self.records
+    }
+
+    /// Number of recorded evaluations.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the log has no evaluations yet.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Appends one evaluation.
+    pub fn push(&mut self, record: EvalRecord) {
+        self.records.push(record);
+    }
+
+    /// Checks that `config` can resume this log: the seed, strategy and
+    /// batch width (which determine the proposal stream) must match.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TuneLogError::Mismatch`] naming the differing parameter.
+    pub fn check_resumable(&self, config: &TuneConfig) -> Result<(), TuneLogError> {
+        if self.seed != config.seed {
+            return Err(TuneLogError::Mismatch(format!(
+                "seed: log {} vs run {}",
+                self.seed, config.seed
+            )));
+        }
+        if self.strategy != config.strategy {
+            return Err(TuneLogError::Mismatch(format!(
+                "strategy: log {} vs run {}",
+                self.strategy, config.strategy
+            )));
+        }
+        if self.batch != config.batch {
+            return Err(TuneLogError::Mismatch(format!(
+                "batch: log {} vs run {}",
+                self.batch, config.batch
+            )));
+        }
+        Ok(())
+    }
+
+    /// Writes the run to `writer` in the v1 text format.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the writer.
+    pub fn write<W: Write>(&self, mut writer: W) -> Result<(), TuneLogError> {
+        writeln!(writer, "{HEADER}")?;
+        writeln!(
+            writer,
+            "run {} {} {} {}",
+            self.seed, self.strategy, self.budget, self.batch
+        )?;
+        for r in &self.records {
+            let mut line = String::from("eval");
+            for v in r.config.as_array() {
+                line.push(' ');
+                line.push_str(&v.to_string());
+            }
+            line.push(' ');
+            line.push_str(&r.cost.to_string());
+            writeln!(writer, "{line}")?;
+        }
+        Ok(())
+    }
+
+    /// Reads a run previously written by [`TuneLog::write`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TuneLogError`] on I/O failures, a wrong header, or
+    /// malformed rows.
+    pub fn read<R: Read>(reader: R) -> Result<TuneLog, TuneLogError> {
+        let mut lines = BufReader::new(reader).lines().enumerate();
+        let bad = |line: usize, reason: String| TuneLogError::BadRow { line, reason };
+        let header = match lines.next() {
+            Some((_, l)) => l?,
+            None => return Err(TuneLogError::BadHeader(String::new())),
+        };
+        if header.trim() != HEADER {
+            return Err(TuneLogError::BadHeader(header));
+        }
+        let (run_no, run_line) = match lines.next() {
+            Some((i, l)) => (i + 1, l?),
+            None => return Err(bad(2, "truncated file: missing run line".into())),
+        };
+        let rest = run_line
+            .strip_prefix("run ")
+            .ok_or_else(|| bad(run_no, format!("expected `run ...`, got {run_line:?}")))?;
+        let mut it = rest.split_whitespace();
+        let mut field = |what: &str| -> Result<String, TuneLogError> {
+            it.next()
+                .map(str::to_string)
+                .ok_or_else(|| bad(run_no, format!("missing {what}")))
+        };
+        let seed: u64 = field("seed")?
+            .parse()
+            .map_err(|e| bad(run_no, format!("bad seed: {e}")))?;
+        let strategy_text = field("strategy")?;
+        let strategy = Strategy::from_name(&strategy_text)
+            .ok_or_else(|| bad(run_no, format!("unknown strategy {strategy_text:?}")))?;
+        let budget: usize = field("budget")?
+            .parse()
+            .map_err(|e| bad(run_no, format!("bad budget: {e}")))?;
+        let batch: usize = field("batch")?
+            .parse()
+            .map_err(|e| bad(run_no, format!("bad batch: {e}")))?;
+        if batch == 0 {
+            return Err(bad(run_no, "batch must be positive".into()));
+        }
+        let mut records = Vec::new();
+        for (idx, line) in lines {
+            let line = line?;
+            let line_no = idx + 1;
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            let rest = trimmed
+                .strip_prefix("eval ")
+                .ok_or_else(|| bad(line_no, format!("expected `eval ...`, got {trimmed:?}")))?;
+            let vals: Result<Vec<f64>, _> = rest.split_whitespace().map(str::parse).collect();
+            let vals = vals.map_err(|e| bad(line_no, format!("bad value: {e}")))?;
+            if vals.len() != M_DIM + 1 {
+                return Err(bad(
+                    line_no,
+                    format!("expected {} values, got {}", M_DIM + 1, vals.len()),
+                ));
+            }
+            let mut m = [0.0f64; M_DIM];
+            m.copy_from_slice(&vals[..M_DIM]);
+            records.push(EvalRecord {
+                config: MConfig::from_array(m),
+                cost: vals[M_DIM],
+            });
+        }
+        Ok(TuneLog {
+            seed,
+            strategy,
+            budget,
+            batch,
+            records,
+        })
+    }
+
+    /// Saves the run to `path` (see [`TuneLog::write`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TuneLogError`] on I/O failures.
+    pub fn save_file<P: AsRef<Path>>(&self, path: P) -> Result<(), TuneLogError> {
+        self.write(io::BufWriter::new(std::fs::File::create(path)?))
+    }
+
+    /// Loads a run from `path` (see [`TuneLog::read`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TuneLogError`] on I/O failures or a corrupt file.
+    pub fn load_file<P: AsRef<Path>>(path: P) -> Result<TuneLog, TuneLogError> {
+        TuneLog::read(std::fs::File::open(path)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heteromap_model::MConfig;
+
+    fn sample_log() -> TuneLog {
+        let cfg = TuneConfig {
+            seed: 9,
+            budget: 100,
+            ..TuneConfig::default()
+        };
+        let mut log = TuneLog::for_config(&cfg);
+        log.push(EvalRecord {
+            config: MConfig::gpu_default(),
+            cost: 1.25,
+        });
+        log.push(EvalRecord {
+            config: MConfig::multicore_default(),
+            cost: 0.7351902437,
+        });
+        log
+    }
+
+    #[test]
+    fn round_trips_bit_identically() {
+        let log = sample_log();
+        let mut buf = Vec::new();
+        log.write(&mut buf).unwrap();
+        let back = TuneLog::read(&buf[..]).unwrap();
+        assert_eq!(back, log);
+        for (a, b) in log.records().iter().zip(back.records()) {
+            assert_eq!(
+                a.config.as_array().map(f64::to_bits),
+                b.config.as_array().map(f64::to_bits)
+            );
+            assert_eq!(a.cost.to_bits(), b.cost.to_bits());
+        }
+    }
+
+    #[test]
+    fn wrong_header_is_rejected() {
+        assert!(matches!(
+            TuneLog::read("not a tune run\n".as_bytes()),
+            Err(TuneLogError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_row_is_rejected_with_line_number() {
+        let text = format!("{HEADER}\nrun 1 ensemble 10 8\neval 0.5 0.5\n");
+        match TuneLog::read(text.as_bytes()).unwrap_err() {
+            TuneLogError::BadRow { line, .. } => assert_eq!(line, 3),
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn unknown_strategy_is_rejected() {
+        let text = format!("{HEADER}\nrun 1 warp-drive 10 8\n");
+        assert!(matches!(
+            TuneLog::read(text.as_bytes()),
+            Err(TuneLogError::BadRow { .. })
+        ));
+    }
+
+    #[test]
+    fn resume_check_catches_seed_and_batch_drift() {
+        let log = sample_log();
+        let ok = TuneConfig {
+            seed: 9,
+            budget: 400, // budgets may differ
+            ..TuneConfig::default()
+        };
+        log.check_resumable(&ok).unwrap();
+        let bad_seed = TuneConfig {
+            seed: 10,
+            ..ok.clone()
+        };
+        assert!(matches!(
+            log.check_resumable(&bad_seed),
+            Err(TuneLogError::Mismatch(_))
+        ));
+        let bad_batch = TuneConfig { batch: 3, ..ok };
+        assert!(matches!(
+            log.check_resumable(&bad_batch),
+            Err(TuneLogError::Mismatch(_))
+        ));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = TuneLogError::Diverged { index: 12 };
+        assert!(e.to_string().contains("evaluation 12"));
+    }
+}

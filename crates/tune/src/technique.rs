@@ -1,0 +1,555 @@
+//! Independent search techniques over the `M` space.
+//!
+//! Each technique is a self-contained proposer in the OpenTuner mold: the
+//! meta-technique asks one of them for the next configuration to evaluate,
+//! then feeds the measured cost back through [`Technique::observe`]. All
+//! randomness flows through a per-technique seeded generator, so the
+//! proposal stream is a pure function of the run seed — the property the
+//! determinism guarantees of [`crate::EnsembleTuner`] rest on.
+
+use heteromap_model::mspace::MSpace;
+use heteromap_model::{MConfig, M_DIM};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// Shared knowledge the meta-technique exposes to every proposer: the best
+/// configuration seen so far across the whole ensemble (techniques may
+/// exploit each other's discoveries, as OpenTuner's do via its results
+/// database).
+#[derive(Debug, Clone, Copy)]
+pub struct SearchState<'a> {
+    /// Best configuration across all techniques, if any evaluation landed.
+    pub best: Option<&'a MConfig>,
+    /// Cost at [`SearchState::best`] (`INFINITY` before the first result).
+    pub best_cost: f64,
+}
+
+/// One search technique of the ensemble.
+pub trait Technique {
+    /// Short display name (`"random"`, `"hillclimb"`, ...).
+    fn name(&self) -> &'static str;
+
+    /// Proposes the next configuration to evaluate.
+    fn propose(&mut self, state: &SearchState<'_>) -> MConfig;
+
+    /// Feeds back the measured cost of a configuration this technique
+    /// proposed. `new_best` is true when the evaluation improved the
+    /// ensemble-wide optimum.
+    fn observe(&mut self, cfg: &MConfig, cost: f64, new_best: bool);
+}
+
+/// Seeded uniform random sampling over all 20 dimensions (OpenTuner's
+/// baseline technique; also the ensemble's unbiased explorer).
+#[derive(Debug)]
+pub struct RandomSearch {
+    space: MSpace,
+    rng: StdRng,
+}
+
+impl RandomSearch {
+    /// Creates the technique with its own deterministic stream.
+    pub fn new(seed: u64) -> Self {
+        RandomSearch {
+            space: MSpace::new(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Technique for RandomSearch {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn propose(&mut self, _state: &SearchState<'_>) -> MConfig {
+        self.space.sample(&mut self.rng)
+    }
+
+    fn observe(&mut self, _cfg: &MConfig, _cost: f64, _new_best: bool) {}
+}
+
+/// Structured coverage: the coarse `MSpace` enumeration in a seed-shuffled
+/// order, never proposing the same grid point twice. This arm gives the
+/// ensemble the legacy tuner's exhaustive-sweep strength — early on a
+/// shuffled prefix behaves like a strided coarse pass, and with enough
+/// budget it covers the whole grid — while the bandit decides how much of
+/// the budget coverage actually deserves. Falls back to random sampling
+/// once the grid is exhausted.
+#[derive(Debug)]
+pub struct GridSweep {
+    space: MSpace,
+    rng: StdRng,
+    /// Shuffled enumeration, consumed from the back.
+    queue: Vec<MConfig>,
+}
+
+impl GridSweep {
+    /// Creates the technique with its own deterministic stream.
+    pub fn new(seed: u64) -> Self {
+        use rand::seq::SliceRandom;
+        let space = MSpace::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut queue = space.enumerate();
+        queue.shuffle(&mut rng);
+        GridSweep { space, rng, queue }
+    }
+}
+
+impl Technique for GridSweep {
+    fn name(&self) -> &'static str {
+        "gridsweep"
+    }
+
+    fn propose(&mut self, _state: &SearchState<'_>) -> MConfig {
+        match self.queue.pop() {
+            Some(cfg) => cfg,
+            None => self.space.sample(&mut self.rng),
+        }
+    }
+
+    fn observe(&mut self, _cfg: &MConfig, _cost: f64, _new_best: bool) {}
+}
+
+/// Greedy hill-climbing with random restarts: walk the 0.1-grid
+/// neighbourhood of the current point, move on any improvement, and restart
+/// from a fresh random sample once a full sweep finds nothing better.
+#[derive(Debug)]
+pub struct HillClimb {
+    space: MSpace,
+    rng: StdRng,
+    /// Current climb position and its cost (`None` before seeding and after
+    /// a restart decision).
+    current: Option<(MConfig, f64)>,
+    /// Neighbours of `current` still awaiting evaluation.
+    pending: VecDeque<MConfig>,
+    /// Whether any neighbour of the current sweep improved on `current`.
+    improved_this_sweep: bool,
+    /// The proposal just issued was a seeding sample, not a neighbour.
+    seeding: bool,
+}
+
+impl HillClimb {
+    /// Creates the technique with its own deterministic stream.
+    pub fn new(seed: u64) -> Self {
+        HillClimb {
+            space: MSpace::new(),
+            rng: StdRng::seed_from_u64(seed),
+            current: None,
+            pending: VecDeque::new(),
+            improved_this_sweep: false,
+            seeding: false,
+        }
+    }
+
+    fn restart(&mut self) -> MConfig {
+        self.current = None;
+        self.pending.clear();
+        self.improved_this_sweep = false;
+        self.seeding = true;
+        self.space.sample(&mut self.rng)
+    }
+}
+
+impl Technique for HillClimb {
+    fn name(&self) -> &'static str {
+        "hillclimb"
+    }
+
+    fn propose(&mut self, state: &SearchState<'_>) -> MConfig {
+        self.seeding = false;
+        // Adopt the ensemble best whenever it is strictly better than the
+        // current climb position (OpenTuner's techniques share a results
+        // database the same way): another arm found a better basin, so
+        // climb there instead of a stale one.
+        if let (Some((_, cur_cost)), Some(best)) = (self.current, state.best) {
+            if state.best_cost < cur_cost {
+                self.current = Some((*best, state.best_cost));
+                self.pending = self.space.neighbors(best).into();
+                self.improved_this_sweep = false;
+            }
+        }
+        let Some((current, _)) = self.current else {
+            // First climb starts from the ensemble best when one exists
+            // (exploiting earlier discoveries), otherwise from a sample.
+            if let Some(best) = state.best {
+                self.current = Some((*best, state.best_cost));
+                self.pending = self.space.neighbors(best).into();
+                self.improved_this_sweep = false;
+                if let Some(n) = self.pending.pop_front() {
+                    return n;
+                }
+            }
+            return self.restart();
+        };
+        if self.pending.is_empty() {
+            if !self.improved_this_sweep {
+                // Converged: a full neighbourhood sweep found nothing.
+                return self.restart();
+            }
+            self.pending = self.space.neighbors(&current).into();
+            self.improved_this_sweep = false;
+        }
+        match self.pending.pop_front() {
+            Some(n) => n,
+            None => self.restart(),
+        }
+    }
+
+    fn observe(&mut self, cfg: &MConfig, cost: f64, _new_best: bool) {
+        if self.seeding || self.current.is_none() {
+            self.current = Some((*cfg, cost));
+            self.pending = self.space.neighbors(cfg).into();
+            self.improved_this_sweep = false;
+            self.seeding = false;
+            return;
+        }
+        if let Some((_, cur_cost)) = self.current {
+            if cost < cur_cost {
+                self.current = Some((*cfg, cost));
+                self.pending = self.space.neighbors(cfg).into();
+                self.improved_this_sweep = true;
+            }
+        }
+    }
+}
+
+/// Steady-state genetic search on the M1–M20 grid: uniform crossover of two
+/// tournament-selected parents plus per-dimension ±0.1 mutation; offspring
+/// replace the worst member once the population is full.
+#[derive(Debug)]
+pub struct Evolution {
+    space: MSpace,
+    rng: StdRng,
+    population: Vec<(MConfig, f64)>,
+    capacity: usize,
+    min_parents: usize,
+    mutation_rate: f64,
+}
+
+impl Evolution {
+    /// Creates the technique with its own deterministic stream.
+    pub fn new(seed: u64) -> Self {
+        Evolution {
+            space: MSpace::new(),
+            rng: StdRng::seed_from_u64(seed),
+            population: Vec::new(),
+            capacity: 24,
+            min_parents: 6,
+            mutation_rate: 0.15,
+        }
+    }
+
+    /// Number of live population members (test hook).
+    pub fn population_len(&self) -> usize {
+        self.population.len()
+    }
+
+    /// Maximum population size.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn tournament(&mut self) -> MConfig {
+        let n = self.population.len();
+        let a = self.rng.gen_range(0..n);
+        let b = self.rng.gen_range(0..n);
+        let pick = if self.population[a].1 <= self.population[b].1 {
+            a
+        } else {
+            b
+        };
+        self.population[pick].0
+    }
+}
+
+impl Technique for Evolution {
+    fn name(&self) -> &'static str {
+        "evolution"
+    }
+
+    fn propose(&mut self, state: &SearchState<'_>) -> MConfig {
+        if self.population.len() < self.min_parents {
+            // Seed the gene pool; adopt the ensemble best as a free parent.
+            if self.population.is_empty() {
+                if let Some(best) = state.best {
+                    return *best;
+                }
+            }
+            return self.space.sample(&mut self.rng);
+        }
+        let pa = self.tournament().as_array();
+        let pb = self.tournament().as_array();
+        let mut child = [0.0f64; M_DIM];
+        for (d, c) in child.iter_mut().enumerate() {
+            *c = if self.rng.gen_bool(0.5) { pa[d] } else { pb[d] };
+            if self.rng.gen_bool(self.mutation_rate) {
+                let delta = if self.rng.gen_bool(0.5) { 0.1 } else { -0.1 };
+                *c = (*c + delta).clamp(0.0, 1.0);
+            }
+        }
+        MConfig::from_array(child)
+    }
+
+    fn observe(&mut self, cfg: &MConfig, cost: f64, _new_best: bool) {
+        if !cost.is_finite() {
+            return;
+        }
+        self.population.push((*cfg, cost));
+        if self.population.len() > self.capacity {
+            // Steady state: evict the current worst member.
+            let worst = self
+                .population
+                .iter()
+                .enumerate()
+                .max_by(|(_, x), (_, y)| x.1.total_cmp(&y.1))
+                .map(|(i, _)| i)
+                .expect("population is non-empty");
+            self.population.swap_remove(worst);
+        }
+    }
+}
+
+/// Pattern (coordinate-descent) search on the continuous dimensions: probe
+/// each dimension ±step around a base point, move on improvement, halve the
+/// step after a probe sweep with no winner, restart when the step bottoms
+/// out. This is the only technique that leaves the 0.1 grid, refining into
+/// the continuum like the paper's final OpenTuner polish.
+#[derive(Debug)]
+pub struct PatternSearch {
+    space: MSpace,
+    rng: StdRng,
+    base: Option<(MConfig, f64)>,
+    step: f64,
+    /// Probes of the current sweep still awaiting proposal.
+    pending: VecDeque<MConfig>,
+    improved_this_sweep: bool,
+    seeding: bool,
+}
+
+/// Initial coordinate step of a pattern sweep.
+const PATTERN_INITIAL_STEP: f64 = 0.2;
+/// Sweeps stop refining below this step and restart elsewhere.
+const PATTERN_MIN_STEP: f64 = 0.02;
+
+impl PatternSearch {
+    /// Creates the technique with its own deterministic stream.
+    pub fn new(seed: u64) -> Self {
+        PatternSearch {
+            space: MSpace::new(),
+            rng: StdRng::seed_from_u64(seed),
+            base: None,
+            step: PATTERN_INITIAL_STEP,
+            pending: VecDeque::new(),
+            improved_this_sweep: false,
+            seeding: false,
+        }
+    }
+
+    /// Continuous dimensions probed per accelerator (array indices; dim 0
+    /// is the accelerator choice and dim 10 the schedule enum — neither is
+    /// continuous).
+    fn continuous_dims(cfg: &MConfig) -> &'static [usize] {
+        match cfg.accelerator {
+            heteromap_model::Accelerator::Gpu => &[18, 19, 11],
+            heteromap_model::Accelerator::Multicore => &[1, 2, 3, 4, 5, 6, 7, 8, 9, 11, 14, 16],
+        }
+    }
+
+    fn refill(&mut self, base: &MConfig) {
+        let arr = base.as_array();
+        self.pending.clear();
+        for &d in Self::continuous_dims(base) {
+            for delta in [self.step, -self.step] {
+                let next = (arr[d] + delta).clamp(0.0, 1.0);
+                if (next - arr[d]).abs() > 1e-12 {
+                    let mut a = arr;
+                    a[d] = next;
+                    self.pending.push_back(MConfig::from_array(a));
+                }
+            }
+        }
+        self.improved_this_sweep = false;
+    }
+
+    fn restart(&mut self) -> MConfig {
+        self.base = None;
+        self.pending.clear();
+        self.step = PATTERN_INITIAL_STEP;
+        self.seeding = true;
+        self.space.sample(&mut self.rng)
+    }
+}
+
+impl Technique for PatternSearch {
+    fn name(&self) -> &'static str {
+        "pattern"
+    }
+
+    fn propose(&mut self, state: &SearchState<'_>) -> MConfig {
+        self.seeding = false;
+        // Re-centre on the ensemble best when another arm found a strictly
+        // better point: polish the true basin, not a stale one.
+        if let (Some((_, base_cost)), Some(best)) = (self.base, state.best) {
+            if state.best_cost < base_cost {
+                self.base = Some((*best, state.best_cost));
+                self.step = PATTERN_INITIAL_STEP;
+                self.refill(&best.clone());
+            }
+        }
+        let Some((base, _)) = self.base else {
+            if let Some(best) = state.best {
+                self.base = Some((*best, state.best_cost));
+                self.refill(&best.clone());
+                if let Some(p) = self.pending.pop_front() {
+                    return p;
+                }
+            }
+            return self.restart();
+        };
+        if self.pending.is_empty() {
+            if !self.improved_this_sweep {
+                self.step /= 2.0;
+                if self.step < PATTERN_MIN_STEP {
+                    return self.restart();
+                }
+            }
+            self.refill(&base);
+        }
+        match self.pending.pop_front() {
+            Some(p) => p,
+            None => self.restart(),
+        }
+    }
+
+    fn observe(&mut self, cfg: &MConfig, cost: f64, _new_best: bool) {
+        if self.seeding || self.base.is_none() {
+            self.base = Some((*cfg, cost));
+            self.step = PATTERN_INITIAL_STEP;
+            self.refill(&cfg.clone());
+            self.seeding = false;
+            return;
+        }
+        if let Some((_, base_cost)) = self.base {
+            if cost < base_cost {
+                self.base = Some((*cfg, cost));
+                self.improved_this_sweep = true;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state_none() -> SearchState<'static> {
+        SearchState {
+            best: None,
+            best_cost: f64::INFINITY,
+        }
+    }
+
+    /// A bowl over dimensions the 0.1-grid neighbourhood can actually move:
+    /// thread counts plus an accelerator preference (reachable via the flip
+    /// neighbour).
+    fn convex(cfg: &MConfig) -> f64 {
+        let accel = match cfg.accelerator {
+            heteromap_model::Accelerator::Gpu => 0.0,
+            heteromap_model::Accelerator::Multicore => 1.0,
+        };
+        accel
+            + (cfg.global_threads - 0.4) * (cfg.global_threads - 0.4)
+            + (cfg.local_threads - 0.4) * (cfg.local_threads - 0.4)
+            + 1.0
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let mut a = RandomSearch::new(7);
+        let mut b = RandomSearch::new(7);
+        for _ in 0..20 {
+            assert_eq!(
+                a.propose(&state_none()).as_array(),
+                b.propose(&state_none()).as_array()
+            );
+        }
+    }
+
+    #[test]
+    fn hillclimb_descends_a_convex_bowl() {
+        let mut hc = HillClimb::new(3);
+        let mut best = f64::INFINITY;
+        for _ in 0..300 {
+            let state = state_none();
+            let cfg = hc.propose(&state);
+            let cost = convex(&cfg);
+            let nb = cost < best;
+            if nb {
+                best = cost;
+            }
+            hc.observe(&cfg, cost, nb);
+        }
+        // The optimum (GPU, both thread dims at 0.4) sits exactly on the
+        // grid, so the climb must land on it.
+        assert!(best < 1.01, "hill climb stuck at {best}");
+    }
+
+    #[test]
+    fn evolution_population_stays_bounded() {
+        let mut ev = Evolution::new(5);
+        for k in 0..200 {
+            let state = state_none();
+            let cfg = ev.propose(&state);
+            ev.observe(&cfg, 1.0 + (k as f64 * 0.37).sin().abs(), false);
+            assert!(ev.population_len() <= ev.capacity());
+        }
+        assert_eq!(ev.population_len(), ev.capacity());
+    }
+
+    #[test]
+    fn evolution_ignores_non_finite_costs() {
+        let mut ev = Evolution::new(5);
+        let cfg = MConfig::gpu_default();
+        ev.observe(&cfg, f64::INFINITY, false);
+        ev.observe(&cfg, f64::NAN, false);
+        assert_eq!(ev.population_len(), 0);
+    }
+
+    #[test]
+    fn pattern_search_refines_below_the_grid() {
+        // Optimum at 0.43 is off the 0.1 grid; pattern probes with step
+        // 0.05/0.025 must land closer than any grid point.
+        let target = 0.43;
+        let obj = |cfg: &MConfig| (cfg.global_threads - target).powi(2) + 1.0;
+        let mut ps = PatternSearch::new(11);
+        let mut best = f64::INFINITY;
+        for _ in 0..600 {
+            let state = state_none();
+            let cfg = ps.propose(&state);
+            let cost = obj(&cfg);
+            let nb = cost < best;
+            if nb {
+                best = cost;
+            }
+            ps.observe(&cfg, cost, nb);
+        }
+        let grid_floor = (0.4f64 - target).powi(2) + 1.0;
+        assert!(best < grid_floor, "pattern never left the grid: {best}");
+    }
+
+    #[test]
+    fn seeded_climb_starts_from_the_ensemble_best() {
+        let mut hc = HillClimb::new(1);
+        let best = MConfig::multicore_default();
+        let state = SearchState {
+            best: Some(&best),
+            best_cost: 2.0,
+        };
+        let first = hc.propose(&state);
+        // The first proposal is a neighbour of the ensemble best, i.e. a
+        // multicore config or the accelerator flip of one.
+        let neighbours = MSpace::new().neighbors(&best);
+        assert!(neighbours.iter().any(|n| n == &first));
+    }
+}

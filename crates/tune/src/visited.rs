@@ -1,0 +1,30 @@
+//! Exact-identity keys for visited-configuration memoization.
+
+use heteromap_model::{MConfig, M_DIM};
+
+/// Bit-exact identity of a configuration: the raw IEEE-754 patterns of its
+/// 20-value array encoding. Two configurations share a key iff every
+/// dimension is bit-identical — the same notion of identity the serving
+/// cache uses, so memo hits never conflate near-equal floats.
+pub fn config_key(cfg: &MConfig) -> [u64; M_DIM] {
+    cfg.as_array().map(f64::to_bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_configs_share_a_key() {
+        let a = MConfig::gpu_default();
+        assert_eq!(config_key(&a), config_key(&a.clone()));
+    }
+
+    #[test]
+    fn near_equal_floats_do_not_collide() {
+        let a = MConfig::gpu_default();
+        let mut b = a;
+        b.local_threads += 1e-16;
+        assert_ne!(config_key(&a), config_key(&b));
+    }
+}

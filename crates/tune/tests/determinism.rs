@@ -1,0 +1,145 @@
+//! Subsystem-level determinism guarantees: thread-count invariance and
+//! resume-equals-uninterrupted for persisted tuning runs.
+
+use heteromap_model::{Accelerator, MConfig};
+use heteromap_tune::{EnsembleTuner, Strategy, TuneConfig, TuneLog};
+
+/// A mildly rugged objective: a convex bowl with a sinusoidal ripple, so
+/// different techniques genuinely trade places during the search.
+fn oracle(cfg: &MConfig) -> f64 {
+    let accel_penalty = match cfg.accelerator {
+        Accelerator::Gpu => 0.0,
+        Accelerator::Multicore => 3.0,
+    };
+    let g = cfg.global_threads;
+    let l = cfg.local_threads;
+    accel_penalty
+        + (g - 0.7).powi(2)
+        + (l - 0.3).powi(2)
+        + 0.05 * (13.0 * g).sin() * (17.0 * l).cos()
+        + 2.0
+}
+
+fn bits(cfg: &MConfig) -> Vec<u64> {
+    cfg.as_array().map(f64::to_bits).to_vec()
+}
+
+#[test]
+fn identical_result_across_1_4_and_16_threads() {
+    let base = TuneConfig::default().with_budget(240).with_seed(42);
+    let reference = EnsembleTuner::new(base.clone().with_threads(1)).tune(oracle);
+    for threads in [4, 16] {
+        let out = EnsembleTuner::new(base.clone().with_threads(threads)).tune(oracle);
+        assert_eq!(
+            bits(&out.config),
+            bits(&reference.config),
+            "best config diverged at {threads} threads"
+        );
+        assert_eq!(out.cost.to_bits(), reference.cost.to_bits());
+        assert_eq!(out.evaluations, reference.evaluations);
+        assert_eq!(
+            out.curve, reference.curve,
+            "curve diverged at {threads} threads"
+        );
+        assert_eq!(
+            out.stats, reference.stats,
+            "stats diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn every_strategy_is_seed_deterministic() {
+    for strategy in Strategy::ALL {
+        let cfg = TuneConfig::default()
+            .with_budget(120)
+            .with_seed(7)
+            .with_strategy(strategy);
+        let a = EnsembleTuner::new(cfg.clone()).tune(oracle);
+        let b = EnsembleTuner::new(cfg).tune(oracle);
+        assert_eq!(
+            bits(&a.config),
+            bits(&b.config),
+            "{strategy} not deterministic"
+        );
+        assert_eq!(a.cost.to_bits(), b.cost.to_bits());
+    }
+}
+
+#[test]
+fn persisted_run_resumes_to_the_uninterrupted_result() {
+    let small = TuneConfig::default().with_budget(90).with_seed(11);
+    let full = small.clone().with_budget(260);
+
+    // Uninterrupted reference at the full budget.
+    let reference = EnsembleTuner::new(full.clone()).tune(oracle);
+
+    // Phase 1: run the small budget while logging, persist to disk.
+    let mut log = TuneLog::for_config(&small);
+    let partial = EnsembleTuner::new(small)
+        .tune_logged(&mut log, oracle)
+        .unwrap();
+    assert_eq!(log.len(), partial.evaluations);
+    let dir = std::env::temp_dir().join("heteromap-tune-resume-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("run.tunelog");
+    log.save_file(&path).unwrap();
+
+    // Phase 2: reload and resume at the full budget. The recorded prefix
+    // replays without touching the oracle; only the tail evaluates live.
+    let mut reloaded = TuneLog::load_file(&path).unwrap();
+    assert_eq!(&reloaded, &log);
+    let replayed = reloaded.len();
+    let live_calls = std::sync::atomic::AtomicUsize::new(0);
+    let resumed = EnsembleTuner::new(full)
+        .tune_logged(&mut reloaded, |cfg| {
+            live_calls.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            oracle(cfg)
+        })
+        .unwrap();
+    let live_calls = live_calls.into_inner();
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(bits(&resumed.config), bits(&reference.config));
+    assert_eq!(resumed.cost.to_bits(), reference.cost.to_bits());
+    assert_eq!(resumed.evaluations, reference.evaluations);
+    assert_eq!(resumed.curve, reference.curve);
+    assert_eq!(
+        live_calls,
+        reference.evaluations - replayed,
+        "resume re-evaluated recorded configurations"
+    );
+}
+
+#[test]
+fn resume_rejects_a_foreign_log() {
+    let mut log = TuneLog::for_config(&TuneConfig::default().with_seed(1));
+    let err = EnsembleTuner::new(TuneConfig::default().with_seed(2))
+        .tune_logged(&mut log, oracle)
+        .unwrap_err();
+    assert!(err.to_string().contains("seed"));
+}
+
+#[test]
+fn replay_detects_a_diverged_oracle() {
+    // Record a run, then tamper with one recorded configuration: replay
+    // must notice the proposal stream no longer matches.
+    let cfg = TuneConfig::default().with_budget(40).with_seed(5);
+    let mut log = TuneLog::for_config(&cfg);
+    EnsembleTuner::new(cfg.clone())
+        .tune_logged(&mut log, oracle)
+        .unwrap();
+    let mut text = Vec::new();
+    log.write(&mut text).unwrap();
+    let tampered = String::from_utf8(text)
+        .unwrap()
+        .replacen("eval 0", "eval 1", 1);
+    let mut bad = TuneLog::read(tampered.as_bytes()).unwrap();
+    let err = EnsembleTuner::new(cfg)
+        .tune_logged(&mut bad, oracle)
+        .unwrap_err();
+    assert!(
+        matches!(err, heteromap_tune::TuneLogError::Diverged { .. }),
+        "expected divergence, got {err}"
+    );
+}

@@ -3,7 +3,11 @@
 //! multi-accelerator oracle, build the profiler database, train every
 //! learner, and compare them Table-IV-style on the real workloads.
 //!
-//! Run with: `cargo run --release --example train_predictor [samples]`
+//! Run with: `cargo run --release --example train_predictor [samples] [threads]`
+//!
+//! With `threads > 1` the per-sample tuning runs are fanned over the kernel
+//! thread pool ([`Trainer::generate_database_parallel`]); the database is
+//! bit-identical to the serial one, only faster to produce.
 //!
 //! Set `HETEROMAP_DB=<path>` to reuse a persisted profiler database instead
 //! of regenerating one; corrupt rows are skipped with a warning, not
@@ -22,6 +26,10 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(300);
+    let threads: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
     let system = MultiAcceleratorSystem::primary();
 
     let trainer = Trainer::new(system.clone());
@@ -35,22 +43,18 @@ fn main() {
             }
             lenient.set
         }
+        _ if threads > 1 => {
+            println!(
+                "1. generating profiler database ({samples} autotuned synthetic combos, {threads} workers)..."
+            );
+            trainer.generate_database_parallel(samples, 42, threads)
+        }
         _ => {
             println!("1. generating profiler database ({samples} autotuned synthetic combos)...");
             trainer.generate_database(samples, 42)
         }
     };
-    let gpu_share = db
-        .samples()
-        .iter()
-        .filter(|s| s.optimal.accelerator == heteromap_model::Accelerator::Gpu)
-        .count();
-    println!(
-        "   database: {} rows ({} optimal on GPU, {} on multicore)\n",
-        db.len(),
-        gpu_share,
-        db.len() - gpu_share
-    );
+    println!("   database: {}\n", db.summary());
 
     println!("2. training learners...");
     let tree = DecisionTree::paper();

@@ -112,6 +112,43 @@ fn energy_training_shifts_placements_toward_low_power() {
 }
 
 #[test]
+fn parallel_training_matches_serial_bit_for_bit() {
+    // The parallel database-generation path is a pure wall-clock
+    // optimization: the trained model must predict identically.
+    let cfg = TrainConfig {
+        hidden: 32,
+        epochs: 40,
+        seed: 17,
+        ..TrainConfig::default()
+    };
+    let serial = HeteroMap::train_deep_with(
+        MultiAcceleratorSystem::primary(),
+        60,
+        Objective::Performance,
+        cfg,
+    );
+    let parallel = HeteroMap::train_deep_parallel(
+        MultiAcceleratorSystem::primary(),
+        60,
+        Objective::Performance,
+        cfg,
+        8,
+    );
+    for w in Workload::all() {
+        for d in Dataset::all() {
+            let i = serial.ivector(&d.stats());
+            let (a, _) = serial.predict_config(&w.b_vector(), &i);
+            let (b, _) = parallel.predict_config(&w.b_vector(), &i);
+            assert_eq!(
+                a.as_array().map(f64::to_bits),
+                b.as_array().map(f64::to_bits),
+                "{w}/{d}"
+            );
+        }
+    }
+}
+
+#[test]
 fn database_nearest_lookup_round_trips_through_training() {
     let system = MultiAcceleratorSystem::primary();
     let db = Trainer::new(system).generate_database(30, 3);

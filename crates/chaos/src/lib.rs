@@ -1,0 +1,35 @@
+//! **heteromap-chaos** — a deterministic chaos harness for the HeteroMap
+//! serving stack.
+//!
+//! Chaos testing usually trades reproducibility for realism: random fault
+//! injectors find bugs nobody can replay. This harness refuses the trade.
+//! A [`ChaosPlan`] maps `(seed, intensity)` to a fault schedule — episodes
+//! of accelerator outages, transient fault storms, latency spikes (core
+//! throttling), OOM bursts and correlated dual outages — and the
+//! [`ChaosRunner`] drives it through a real [`ServeEngine`] at any thread
+//! count with a **bit-identical digest**: same seed, same digest, whether
+//! the run used 1 worker or 16, today or in CI next month.
+//!
+//! What the harness asserts (see `exp_chaos_resilience` in
+//! `heteromap-bench` for the acceptance bars):
+//!
+//! * no panic and no deadlock at any thread count,
+//! * every driven request resolves to exactly one bucket
+//!   ([`ChaosReport::fully_accounted`]) — good, late, failed, or shed;
+//!   nothing disappears,
+//! * per-seed determinism — [`ChaosReport::digest`] chains every request's
+//!   resolution, accelerator, time and configuration,
+//! * the resilience layer (deadline propagation + circuit breakers) earns
+//!   its keep: goodput under chaos must beat the no-resilience baseline
+//!   run on the *same* seeded schedule.
+//!
+//! [`ServeEngine`]: heteromap_serve::ServeEngine
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod plan;
+pub mod runner;
+
+pub use plan::{ChaosEvent, ChaosPlan, DATASETS, WORKLOADS};
+pub use runner::{ChaosReport, ChaosRunner};

@@ -1,0 +1,408 @@
+//! The chaos round driver: deterministic execution of a [`ChaosPlan`]
+//! through the serving stack at any thread count.
+//!
+//! Determinism strategy, in order of importance:
+//!
+//! 1. **Simulated time only.** Placements charge simulated milliseconds, and
+//!    the chaos engine zeroes every real-time-adjacent overhead knob
+//!    (`flop_ns`, `hit_overhead_ms`), so a request's outcome is identical
+//!    whether it hit or missed the cache — races on the cache cannot leak
+//!    into results.
+//! 2. **Round-granular routing.** The breaker board is snapshotted at round
+//!    start; every request in the round routes from that snapshot, and the
+//!    board is updated by a *serial fold in slot order* after the parallel
+//!    evaluation. Mid-round interleavings therefore cannot influence breaker
+//!    evolution.
+//! 3. **Pure per-slot outcomes.** Given the snapshot and the installed
+//!    fault plan, each slot's placement is a pure function of the plan seed
+//!    — worker threads only decide *who* computes a slot, never *what* it
+//!    resolves to.
+//!
+//! The digest chains every `(round, slot, outcome, accelerator, time,
+//! config)` through one hasher, so two runs agree on the digest iff they
+//! agreed on every single request.
+
+use crate::plan::{ChaosPlan, DATASETS, WORKLOADS};
+use heteromap::{AttemptOutcome, BreakerBoard, BreakerConfig, DeployOptions, HeteroMap};
+use heteromap_accel::cost::WorkloadContext;
+use heteromap_model::Accelerator;
+use heteromap_serve::{ServeConfig, ServeEngine, ServeMode, Served};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// How one chaos request resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Resolution {
+    /// Completed within its deadline.
+    Good,
+    /// Resolved, but outside the deadline (typed deadline error territory).
+    Late,
+    /// Every leg failed (outage, OOM on both accelerators).
+    Failed,
+    /// Refused at round start because both breakers were open.
+    Shed,
+}
+
+impl Resolution {
+    fn tag(self) -> u64 {
+        match self {
+            Resolution::Good => 1,
+            Resolution::Late => 2,
+            Resolution::Failed => 3,
+            Resolution::Shed => 4,
+        }
+    }
+}
+
+/// Aggregated outcome of one chaos run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosReport {
+    /// Requests driven (`rounds × requests_per_round`).
+    pub requests: usize,
+    /// Requests that completed within their deadline.
+    pub good: usize,
+    /// Requests that resolved outside their deadline.
+    pub late: usize,
+    /// Requests whose every leg failed.
+    pub failed: usize,
+    /// Requests shed with both breakers open.
+    pub shed: usize,
+    /// 99th-percentile simulated completion time of resolved requests (ms;
+    /// `NaN` when nothing resolved).
+    pub p99_ms: f64,
+    /// Breaker trips over the run (0 in baseline mode).
+    pub breaker_opens: u64,
+    /// Breaker recoveries over the run (0 in baseline mode).
+    pub breaker_closes: u64,
+    /// Order-independent-of-threads digest over every request's resolution.
+    pub digest: u64,
+}
+
+impl ChaosReport {
+    /// Fraction of driven requests that completed within deadline.
+    pub fn goodput_fraction(&self) -> f64 {
+        if self.requests == 0 {
+            return f64::NAN;
+        }
+        self.good as f64 / self.requests as f64
+    }
+
+    /// Whether every driven request resolved to exactly one bucket.
+    pub fn fully_accounted(&self) -> bool {
+        self.good + self.late + self.failed + self.shed == self.requests
+    }
+}
+
+/// Drives one [`ChaosPlan`] through a private serving engine.
+///
+/// `resilient` selects the machinery under test: `true` threads deadlines
+/// into the deploy loop and routes around open breakers; `false` is the
+/// no-resilience baseline — same faults, same requests, same deadlines for
+/// *classification*, but deploys run unconstrained and nothing is ever
+/// routed around. The gap between the two is the harness's measure of what
+/// the resilience layer buys.
+#[derive(Debug)]
+pub struct ChaosRunner {
+    plan: ChaosPlan,
+    resilient: bool,
+    breaker: BreakerConfig,
+    engine: ServeEngine,
+    /// Worst-leg fault-free completion time per `(workload, dataset)` pool
+    /// entry — the slower of "forced onto the GPU" and "forced onto the
+    /// multicore". Deadlines are `deadline_factor ×` these, so re-routing
+    /// around an open breaker always fits the budget on a healthy survivor.
+    reference_ms: [[f64; DATASETS.len()]; WORKLOADS.len()],
+}
+
+impl ChaosRunner {
+    /// A runner over a fresh decision-tree engine.
+    pub fn new(plan: ChaosPlan, resilient: bool) -> Self {
+        ChaosRunner::with_breaker(plan, resilient, BreakerConfig::default())
+    }
+
+    /// A runner with explicit breaker tuning.
+    pub fn with_breaker(plan: ChaosPlan, resilient: bool, breaker: BreakerConfig) -> Self {
+        // Zero overhead knobs: cache hit/miss races must not shift times.
+        let config = ServeConfig {
+            mode: ServeMode::Cached,
+            flop_ns: 0.0,
+            hit_overhead_ms: 0.0,
+            ..ServeConfig::default()
+        };
+        let engine = ServeEngine::new(HeteroMap::with_decision_tree(), config);
+        let mut reference_ms = [[0.0; DATASETS.len()]; WORKLOADS.len()];
+        for (wi, workload) in WORKLOADS.iter().enumerate() {
+            for (di, dataset) in DATASETS.iter().enumerate() {
+                let ctx = WorkloadContext::for_workload(*workload, dataset.stats());
+                let forced = |avoid| {
+                    engine
+                        .schedule_context_opts(&ctx, DeployOptions::default().avoiding(Some(avoid)))
+                        .placement
+                        .report
+                        .time_ms
+                };
+                reference_ms[wi][di] = forced(Accelerator::Multicore).max(forced(Accelerator::Gpu));
+            }
+        }
+        ChaosRunner {
+            plan,
+            resilient,
+            breaker,
+            engine,
+            reference_ms,
+        }
+    }
+
+    /// The plan under execution.
+    pub fn plan(&self) -> &ChaosPlan {
+        &self.plan
+    }
+
+    /// The runner's engine (for metrics/event inspection after a run).
+    pub fn engine(&self) -> &ServeEngine {
+        &self.engine
+    }
+
+    /// The deadline of one request slot.
+    fn deadline_ms(&self, wi: usize, di: usize) -> f64 {
+        self.plan.deadline_factor * self.reference_ms[wi][di]
+    }
+
+    /// Executes the plan across `threads` workers and returns the tally.
+    ///
+    /// The digest (and every count) is a pure function of the plan — rerun
+    /// with any thread count and it must match bit for bit.
+    pub fn run(&self, threads: usize) -> ChaosReport {
+        let threads = threads.max(1);
+        let mut board = BreakerBoard::new(self.breaker);
+        let mut digest: u64 = self.plan.seed ^ 0x5EED_C4A0_5B01_7E55;
+        let mut times: Vec<f64> = Vec::new();
+        let mut report = ChaosReport {
+            requests: 0,
+            good: 0,
+            late: 0,
+            failed: 0,
+            shed: 0,
+            p99_ms: f64::NAN,
+            breaker_opens: 0,
+            breaker_closes: 0,
+            digest: 0,
+        };
+
+        for round in 0..self.plan.rounds {
+            let fault_plan = self.plan.fault_plan_for_round(round);
+            if round % self.plan.episode_len.max(1) == 0 {
+                let episode = self.plan.episode_of(round);
+                let event = self.plan.event_for_episode(episode);
+                heteromap_obs::event("chaos.episode", || {
+                    format!("episode={episode} round={round} event={event:?}")
+                });
+            }
+            self.engine.set_fault_plan(fault_plan);
+
+            let n = self.plan.requests_per_round as usize;
+            report.requests += n;
+            // Snapshot routing for the whole round.
+            let (all_open, avoid) = if self.resilient {
+                (board.all_open(), board.route_avoid())
+            } else {
+                (false, None)
+            };
+            if all_open {
+                for slot in 0..n {
+                    board.on_shed_open();
+                    report.shed += 1;
+                    digest = fold(
+                        digest,
+                        &[u64::from(round), slot as u64, Resolution::Shed.tag()],
+                    );
+                }
+                continue;
+            }
+
+            let outcomes = self.evaluate_round(round, n, avoid, threads);
+            // Serial fold in slot order: breaker evolution and the digest
+            // are independent of which worker computed which slot.
+            for (slot, deadline, served) in &outcomes {
+                let time_ms = served.placement.report.time_ms;
+                let within = time_ms <= *deadline;
+                let completed = served.placement.completed();
+                if self.resilient {
+                    if let Some(accelerator) = avoid {
+                        board.on_routed_around(accelerator);
+                    }
+                    board.on_placement(&served.placement, *deadline);
+                }
+                let resolution = if completed && within {
+                    Resolution::Good
+                } else if !within
+                    || served
+                        .placement
+                        .attempts
+                        .records
+                        .iter()
+                        .any(|r| matches!(r.outcome, AttemptOutcome::DeadlineExceeded { .. }))
+                {
+                    Resolution::Late
+                } else {
+                    Resolution::Failed
+                };
+                match resolution {
+                    Resolution::Good => report.good += 1,
+                    Resolution::Late => report.late += 1,
+                    Resolution::Failed => report.failed += 1,
+                    Resolution::Shed => unreachable!("sheds never reach evaluation"),
+                }
+                if time_ms.is_finite() {
+                    times.push(time_ms);
+                }
+                let mut parts = vec![
+                    u64::from(round),
+                    *slot as u64,
+                    resolution.tag(),
+                    u64::from(served.placement.accelerator() == Accelerator::Gpu),
+                    time_ms.to_bits(),
+                ];
+                parts.extend(
+                    served
+                        .placement
+                        .config
+                        .as_array()
+                        .iter()
+                        .map(|x| x.to_bits()),
+                );
+                digest = fold(digest, &parts);
+            }
+        }
+
+        times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        report.p99_ms = if times.is_empty() {
+            f64::NAN
+        } else {
+            let rank = ((0.99 * times.len() as f64).ceil() as usize).clamp(1, times.len());
+            times[rank - 1]
+        };
+        report.breaker_opens = board.total_opens();
+        report.breaker_closes = board.total_closes();
+        report.digest = digest;
+        report
+    }
+
+    /// Evaluates one round's slots across workers; slots are pure given the
+    /// routing snapshot, so only the claim order is racy — results are
+    /// re-sorted by slot.
+    fn evaluate_round(
+        &self,
+        round: u32,
+        n: usize,
+        avoid: Option<Accelerator>,
+        threads: usize,
+    ) -> Vec<(usize, f64, Served)> {
+        let cursor = AtomicUsize::new(0);
+        let workers = threads.min(n.max(1));
+        let mut outcomes: Vec<(usize, f64, Served)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut out = Vec::new();
+                        loop {
+                            let slot = cursor.fetch_add(1, Ordering::Relaxed);
+                            if slot >= n {
+                                break;
+                            }
+                            let (wi, di) = self.plan.request_for(round, slot as u32);
+                            let deadline = self.deadline_ms(wi, di);
+                            let ctx =
+                                WorkloadContext::for_workload(WORKLOADS[wi], DATASETS[di].stats());
+                            let opts = if self.resilient {
+                                DeployOptions::with_deadline_ms(deadline).avoiding(avoid)
+                            } else {
+                                DeployOptions::default()
+                            };
+                            out.push((
+                                slot,
+                                deadline,
+                                self.engine.schedule_context_opts(&ctx, opts),
+                            ));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("chaos worker panicked"))
+                .collect()
+        });
+        outcomes.sort_by_key(|(slot, _, _)| *slot);
+        outcomes
+    }
+}
+
+/// Chains `parts` into `digest` through one [`DefaultHasher`] step.
+fn fold(digest: u64, parts: &[u64]) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    digest.hash(&mut h);
+    for p in parts {
+        p.hash(&mut h);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::ChaosPlan;
+
+    #[test]
+    fn fault_free_run_is_all_good() {
+        let runner = ChaosRunner::new(ChaosPlan::smoke(5, 0.0), true);
+        let report = runner.run(2);
+        assert!(report.fully_accounted());
+        assert_eq!(report.good, report.requests);
+        assert_eq!(report.breaker_opens, 0);
+        assert!(report.p99_ms.is_finite());
+    }
+
+    #[test]
+    fn digests_are_identical_across_thread_counts_and_reruns() {
+        for resilient in [true, false] {
+            let runner = ChaosRunner::new(ChaosPlan::smoke(42, 0.5), resilient);
+            let single = runner.run(1);
+            let quad = runner.run(4);
+            let rerun = runner.run(4);
+            assert_eq!(single.digest, quad.digest, "resilient={resilient}");
+            assert_eq!(quad.digest, rerun.digest, "resilient={resilient}");
+            assert_eq!(
+                (single.good, single.late, single.failed, single.shed),
+                (quad.good, quad.late, quad.failed, quad.shed),
+            );
+            assert!(single.fully_accounted());
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_digests() {
+        let a = ChaosRunner::new(ChaosPlan::smoke(1, 0.5), true).run(2);
+        let b = ChaosRunner::new(ChaosPlan::smoke(2, 0.5), true).run(2);
+        assert_ne!(a.digest, b.digest);
+    }
+
+    #[test]
+    fn resilient_mode_beats_the_baseline_under_heavy_chaos() {
+        let plan = ChaosPlan::seeded(42, 0.5);
+        let resilient = ChaosRunner::new(plan, true).run(4);
+        let baseline = ChaosRunner::new(plan, false).run(4);
+        assert!(resilient.fully_accounted() && baseline.fully_accounted());
+        assert!(
+            resilient.good > baseline.good,
+            "resilient {} vs baseline {} of {}",
+            resilient.good,
+            baseline.good,
+            resilient.requests
+        );
+        assert!(resilient.breaker_opens > 0, "breakers exercised");
+        assert_eq!(baseline.breaker_opens, 0);
+        assert_eq!(baseline.shed, 0, "baseline never sheds");
+    }
+}

@@ -2,7 +2,8 @@
 
 use crate::report::Placement;
 use crate::resilient::{
-    config_is_feasible, AttemptLog, AttemptOutcome, AttemptRecord, RetryPolicy, StaticDefault,
+    config_is_feasible, AttemptLog, AttemptOutcome, AttemptRecord, DeployOptions, RetryPolicy,
+    StaticDefault,
 };
 use heteromap_accel::cost::WorkloadContext;
 use heteromap_accel::fault::{DeployError, FaultState};
@@ -250,7 +251,33 @@ impl HeteroMap {
         overhead_ms: f64,
         predictor_fallbacks: u32,
     ) -> Placement {
-        if self.system.faults().is_all_healthy() && self.retry.attempt_timeout_ms.is_infinite() {
+        self.deploy_predicted_opts(
+            ctx,
+            config,
+            overhead_ms,
+            predictor_fallbacks,
+            DeployOptions::default(),
+        )
+    }
+
+    /// [`HeteroMap::deploy_predicted`] with per-request [`DeployOptions`]:
+    /// a completion deadline the retry loop may never charge past, and an
+    /// accelerator to route around (its circuit breaker is open). The
+    /// serving layer threads both through here so backoff never outlives
+    /// the caller's budget and open breakers re-route with the predicted
+    /// configuration re-clamped for the survivor.
+    pub fn deploy_predicted_opts(
+        &self,
+        ctx: &WorkloadContext,
+        config: MConfig,
+        overhead_ms: f64,
+        predictor_fallbacks: u32,
+        opts: DeployOptions,
+    ) -> Placement {
+        if self.system.faults().is_all_healthy()
+            && self.retry.attempt_timeout_ms.is_infinite()
+            && opts.is_unconstrained()
+        {
             // Fast path — bit-identical to the infallible seed flow.
             let mut report = self.system.deploy(ctx, &config);
             report.time_ms += overhead_ms;
@@ -263,7 +290,7 @@ impl HeteroMap {
                 attempts,
             };
         }
-        self.schedule_resilient(ctx, config, overhead_ms, predictor_fallbacks)
+        self.schedule_resilient(ctx, config, overhead_ms, predictor_fallbacks, opts)
     }
 
     /// Predictor fallback chain (Fig. 8 step 2 in isolation): the
@@ -293,10 +320,17 @@ impl HeteroMap {
         if config_is_feasible(&config) {
             return (config, 0);
         }
+        let predictor = self.predictor.name();
         let config = DecisionTree::paper().predict(b, i);
         if config_is_feasible(&config) {
+            heteromap_obs::event("predict.fallback", || {
+                format!("from={predictor} to=decision_tree cause=infeasible_prediction")
+            });
             return (config, 1);
         }
+        heteromap_obs::event("predict.fallback", || {
+            format!("from={predictor} to=static_default cause=infeasible_prediction")
+        });
         (StaticDefault::default().predict(b, i), 2)
     }
 
@@ -325,12 +359,21 @@ impl HeteroMap {
     /// The resilient deploy loop: retry transients with backoff on the
     /// selected accelerator, then fail over to the other one; all simulated
     /// retry/backoff/timeout cost is charged to the final completion time.
+    ///
+    /// [`DeployOptions`] constrain the loop: an accelerator in
+    /// `opts.avoid` is never targeted (the configuration is re-clamped for
+    /// the survivor), and no attempt or backoff wait is charged past
+    /// `opts.deadline_ms` — the simulator knows every attempt's exact cost
+    /// up front, so doomed work is skipped with a
+    /// [`AttemptOutcome::DeadlineExceeded`] record instead of discovered
+    /// late.
     fn schedule_resilient(
         &self,
         ctx: &WorkloadContext,
         predicted: MConfig,
         overhead_ms: f64,
         predictor_fallbacks: u32,
+        opts: DeployOptions,
     ) -> Placement {
         let mut log = AttemptLog {
             predictor_fallbacks,
@@ -338,15 +381,24 @@ impl HeteroMap {
         };
         let mut charged_ms = 0.0;
         let max_attempts = self.retry.max_attempts.max(1);
-        let order = [predicted.accelerator, predicted.accelerator.other()];
+        let order: Vec<Accelerator> = [predicted.accelerator, predicted.accelerator.other()]
+            .into_iter()
+            .filter(|&a| Some(a) != opts.avoid)
+            .collect();
         let mut last_config = predicted;
+        let mut deadline_hit = false;
 
-        for (leg, &accelerator) in order.iter().enumerate() {
-            if leg > 0 {
+        'legs: for (leg, &accelerator) in order.iter().enumerate() {
+            if accelerator != predicted.accelerator {
                 log.failovers += 1;
+                let cause = if leg == 0 {
+                    "breaker_open"
+                } else {
+                    "exhausted"
+                };
                 heteromap_obs::event("retry.failover", || {
                     format!(
-                        "vertices={} edges={} to={accelerator:?}",
+                        "vertices={} edges={} to={accelerator:?} cause={cause}",
                         ctx.stats.vertices, ctx.stats.edges
                     )
                 });
@@ -358,6 +410,28 @@ impl HeteroMap {
                 FaultState::Degraded { .. }
             );
             for attempt in 0..max_attempts {
+                let remaining_ms = opts.deadline_ms - overhead_ms - charged_ms;
+                if remaining_ms <= 0.0 {
+                    // Budget exhausted before this attempt could start:
+                    // stop the whole loop, nothing more may be charged.
+                    heteromap_obs::event("retry.deadline", || {
+                        format!(
+                            "accelerator={accelerator:?} attempt={attempt} \
+                             remaining_ms={remaining_ms:.3} cause=budget_exhausted"
+                        )
+                    });
+                    log.records.push(AttemptRecord {
+                        accelerator,
+                        attempt,
+                        outcome: AttemptOutcome::DeadlineExceeded {
+                            would_take_ms: f64::INFINITY,
+                            remaining_ms,
+                        },
+                        charged_ms: 0.0,
+                    });
+                    deadline_hit = true;
+                    break 'legs;
+                }
                 match self.system.try_deploy_attempt(ctx, &config, attempt) {
                     Ok(mut report) => {
                         if report.time_ms > self.retry.attempt_timeout_ms {
@@ -382,6 +456,31 @@ impl HeteroMap {
                             });
                             break;
                         }
+                        if report.time_ms > remaining_ms {
+                            // Launching would bust the caller's deadline.
+                            // Charge nothing (the cost model priced the run
+                            // before any cycles burned) and try the other
+                            // accelerator, which may be fast enough.
+                            heteromap_obs::event("retry.deadline", || {
+                                format!(
+                                    "accelerator={accelerator:?} attempt={attempt} \
+                                     would_take_ms={:.3} remaining_ms={remaining_ms:.3} \
+                                     cause=predicted_miss",
+                                    report.time_ms
+                                )
+                            });
+                            log.records.push(AttemptRecord {
+                                accelerator,
+                                attempt,
+                                outcome: AttemptOutcome::DeadlineExceeded {
+                                    would_take_ms: report.time_ms,
+                                    remaining_ms,
+                                },
+                                charged_ms: 0.0,
+                            });
+                            deadline_hit = true;
+                            break;
+                        }
                         if degraded {
                             log.degraded_deploys += 1;
                         }
@@ -391,6 +490,20 @@ impl HeteroMap {
                             outcome: AttemptOutcome::Success,
                             charged_ms: 0.0,
                         });
+                        if log.records.len() > 1 {
+                            // Recovery after at least one failed attempt —
+                            // close the audit trail in the flight recorder
+                            // too, not just in the AttemptLog.
+                            let attempts = log.records.len();
+                            let failovers = log.failovers;
+                            heteromap_obs::event("retry.success", || {
+                                format!(
+                                    "accelerator={accelerator:?} attempt={attempt} \
+                                     total_attempts={attempts} failovers={failovers} \
+                                     charged_ms={charged_ms:.3}"
+                                )
+                            });
+                        }
                         log.retry_time_ms = charged_ms;
                         report.time_ms += overhead_ms + charged_ms;
                         return Placement {
@@ -405,12 +518,17 @@ impl HeteroMap {
                     }) => {
                         // Charge the wasted partial run, plus the backoff
                         // wait if another attempt on this accelerator
-                        // follows.
+                        // follows — but never a backoff that outlives the
+                        // caller's budget: when the wait alone would bust
+                        // the deadline, stop retrying this leg instead.
                         let backoff = if attempt + 1 < max_attempts {
                             self.retry.backoff_ms(attempt + 1)
                         } else {
                             0.0
                         };
+                        let budget_left = remaining_ms - failed_after_ms;
+                        let retry_fits = backoff < budget_left;
+                        let backoff = if retry_fits { backoff } else { 0.0 };
                         let charge = failed_after_ms + backoff;
                         charged_ms += charge;
                         heteromap_obs::event("retry.transient", || {
@@ -425,6 +543,9 @@ impl HeteroMap {
                             outcome: AttemptOutcome::TransientFailure { failed_after_ms },
                             charged_ms: charge,
                         });
+                        if !retry_fits {
+                            break;
+                        }
                     }
                     Err(DeployError::AcceleratorDown { .. }) => {
                         heteromap_obs::event("retry.down", || {
@@ -469,11 +590,17 @@ impl HeteroMap {
             }
         }
 
-        // Every accelerator exhausted: report an unbounded completion time
-        // so callers can rank the outcome (and see exactly why in the log).
+        // Every usable accelerator exhausted (or the deadline budget ran
+        // dry): report an unbounded completion time so callers can rank the
+        // outcome (and see exactly why in the log).
+        let cause = if deadline_hit {
+            "deadline"
+        } else {
+            "exhausted"
+        };
         heteromap_obs::event("retry.exhausted", || {
             format!(
-                "vertices={} attempts={} charged_ms={charged_ms:.3}",
+                "vertices={} attempts={} charged_ms={charged_ms:.3} cause={cause}",
                 ctx.stats.vertices,
                 log.total_attempts()
             )

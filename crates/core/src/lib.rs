@@ -42,12 +42,16 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod breaker;
 pub mod framework;
 pub mod online;
 pub mod report;
 pub mod resilient;
 
+pub use breaker::{BreakerBoard, BreakerConfig, BreakerState, CircuitBreaker};
 pub use framework::HeteroMap;
 pub use online::stream_with;
 pub use report::{Placement, StreamReport};
-pub use resilient::{AttemptLog, AttemptOutcome, AttemptRecord, RetryPolicy, StaticDefault};
+pub use resilient::{
+    AttemptLog, AttemptOutcome, AttemptRecord, DeployOptions, RetryPolicy, StaticDefault,
+};

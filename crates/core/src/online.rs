@@ -61,6 +61,15 @@ fn stream_into<F>(
             .any(|r| matches!(r.outcome, AttemptOutcome::OutOfMemory { .. }));
         if oom && !placement.completed() && depth < MAX_RESTREAM_DEPTH && chunk_byte_budget > 1 {
             *restreams += 1;
+            heteromap_obs::event("stream.restream", || {
+                format!(
+                    "vertices={} budget_bytes={} halved_to={} depth={}",
+                    chunk.stats.vertices,
+                    chunk_byte_budget,
+                    chunk_byte_budget / 2,
+                    depth + 1
+                )
+            });
             stream_into(
                 &chunk.graph,
                 chunk_byte_budget / 2,

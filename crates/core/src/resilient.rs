@@ -7,9 +7,11 @@
 //! on top of that:
 //!
 //! * [`RetryPolicy`] — how many times to retry a transient deploy failure,
-//!   with exponential backoff and deterministic seeded jitter. All retry
-//!   cost is *simulated* and charged to the completion time exactly like
-//!   predictor overhead (§V-A);
+//!   with capped decorrelated-jitter backoff drawn deterministically from a
+//!   seed. All retry cost is *simulated* and charged to the completion time
+//!   exactly like predictor overhead (§V-A);
+//! * [`DeployOptions`] — per-request deadline and routing constraints the
+//!   serving layer threads into the resilient deploy loop;
 //! * [`AttemptLog`] / [`AttemptRecord`] — the audit trail of a scheduling
 //!   decision: every attempt, failover, degraded deploy and the total time
 //!   charged for resilience;
@@ -23,20 +25,25 @@ use std::hash::{Hash, Hasher};
 
 /// Retry/backoff policy for transient deploy failures.
 ///
-/// Backoff before retry `k` (1-based) is
-/// `base_backoff_ms * backoff_multiplier^(k-1)`, scaled by a deterministic
-/// jitter in `[1 - jitter_frac, 1 + jitter_frac]` drawn from `seed` — runs
-/// are bit-reproducible, but consecutive retries do not synchronize.
+/// Backoff uses **seeded decorrelated jitter** (the AWS "decorrelated
+/// jitter" scheme made deterministic): the wait before retry `k` is drawn
+/// uniformly from `[base_backoff_ms, prev_wait × (backoff_multiplier + 1)]`
+/// and capped at `max_backoff_ms`, with every draw a pure function of
+/// `(seed, k)`. Runs are bit-reproducible, while policies with different
+/// seeds spread their waits across the whole envelope instead of
+/// synchronizing into thundering herds on the shared accelerator.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RetryPolicy {
     /// Maximum deploy attempts per accelerator (≥ 1) before failing over.
     pub max_attempts: u32,
-    /// Backoff before the first retry, in simulated milliseconds.
+    /// Lower bound of every backoff wait, in simulated milliseconds.
     pub base_backoff_ms: f64,
-    /// Multiplier applied to the backoff after each failed retry.
+    /// Growth knob: retry `k` draws from
+    /// `[base, prev_wait × (backoff_multiplier + 1)]`, so the expected wait
+    /// grows roughly geometrically with this factor.
     pub backoff_multiplier: f64,
-    /// Jitter amplitude as a fraction of the backoff (`0.1` = ±10%).
-    pub jitter_frac: f64,
+    /// Upper cap on any single backoff wait, in simulated milliseconds.
+    pub max_backoff_ms: f64,
     /// Per-attempt completion-time budget in milliseconds; an attempt whose
     /// simulated time exceeds it counts as a timeout. `f64::INFINITY`
     /// (the default) disables timeouts.
@@ -51,7 +58,7 @@ impl Default for RetryPolicy {
             max_attempts: 3,
             base_backoff_ms: 1.0,
             backoff_multiplier: 2.0,
-            jitter_frac: 0.1,
+            max_backoff_ms: 64.0,
             attempt_timeout_ms: f64::INFINITY,
             seed: 0,
         }
@@ -73,21 +80,84 @@ impl RetryPolicy {
         self
     }
 
+    /// Replaces the jitter seed (concurrent clients decorrelate by seeding
+    /// differently).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
     /// Simulated backoff charged before retry number `retry` (1-based:
     /// the wait between attempt `retry - 1` failing and attempt `retry`
     /// starting). Returns 0 for `retry == 0`.
+    ///
+    /// Decorrelated jitter walks the whole chain of draws so that
+    /// `backoff_ms(k)` is a pure function of `(seed, k)` — no mutable state,
+    /// deterministic for a given policy, bounded by
+    /// `[base_backoff_ms, max_backoff_ms]`.
     pub fn backoff_ms(&self, retry: u32) -> f64 {
         if retry == 0 {
             return 0.0;
         }
-        let base =
-            self.base_backoff_ms.max(0.0) * self.backoff_multiplier.max(1.0).powi(retry as i32 - 1);
-        let mut h = std::collections::hash_map::DefaultHasher::new();
-        self.seed.hash(&mut h);
-        retry.hash(&mut h);
-        let unit = h.finish() as f64 / (u64::MAX as f64 + 1.0); // [0, 1)
-        let jitter = 1.0 + self.jitter_frac.clamp(0.0, 1.0) * (2.0 * unit - 1.0);
-        base * jitter
+        let base = self.base_backoff_ms.max(0.0);
+        let cap = self.max_backoff_ms.max(base);
+        let growth = self.backoff_multiplier.max(1.0) + 1.0;
+        let mut wait = base;
+        for k in 1..=retry {
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            self.seed.hash(&mut h);
+            k.hash(&mut h);
+            let unit = h.finish() as f64 / (u64::MAX as f64 + 1.0); // [0, 1)
+            let hi = (wait * growth).clamp(base, cap);
+            wait = base + unit * (hi - base);
+        }
+        wait
+    }
+}
+
+/// Per-request constraints threaded into the resilient deploy loop by the
+/// serving layer: a completion deadline and circuit-breaker routing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeployOptions {
+    /// Total simulated completion budget in milliseconds (predictor
+    /// overhead + retries/backoff + the run itself). Attempts whose
+    /// deterministic completion time would bust the budget are not
+    /// launched, and backoff never charges past it. `f64::INFINITY`
+    /// (the default) disables the deadline.
+    pub deadline_ms: f64,
+    /// An accelerator to route around entirely (its circuit breaker is
+    /// open); the deploy loop re-clamps the predicted configuration for the
+    /// survivor instead.
+    pub avoid: Option<Accelerator>,
+}
+
+impl Default for DeployOptions {
+    fn default() -> Self {
+        DeployOptions {
+            deadline_ms: f64::INFINITY,
+            avoid: None,
+        }
+    }
+}
+
+impl DeployOptions {
+    /// Options with only a completion deadline.
+    pub fn with_deadline_ms(deadline_ms: f64) -> Self {
+        DeployOptions {
+            deadline_ms,
+            ..DeployOptions::default()
+        }
+    }
+
+    /// Adds an accelerator to route around.
+    pub fn avoiding(mut self, accelerator: Option<Accelerator>) -> Self {
+        self.avoid = accelerator;
+        self
+    }
+
+    /// Whether these options change nothing relative to the default flow.
+    pub fn is_unconstrained(&self) -> bool {
+        self.deadline_ms.is_infinite() && self.avoid.is_none()
     }
 }
 
@@ -115,6 +185,17 @@ pub enum AttemptOutcome {
         footprint_bytes: u64,
         /// Accelerator memory capacity in bytes.
         capacity_bytes: u64,
+    },
+    /// The attempt was not launched because its deterministic completion
+    /// time would have busted the caller's [`DeployOptions::deadline_ms`]
+    /// budget (the simulator knows the exact cost up front, so the loop
+    /// skips doomed work instead of discovering the miss afterwards).
+    DeadlineExceeded {
+        /// The completion time the attempt would have needed (`INFINITY`
+        /// when the budget was already exhausted before the attempt).
+        would_take_ms: f64,
+        /// Budget remaining when the attempt was considered.
+        remaining_ms: f64,
     },
 }
 
@@ -222,31 +303,72 @@ mod tests {
     use super::*;
 
     #[test]
-    fn default_policy_retries_with_growing_backoff() {
+    fn backoff_stays_inside_the_decorrelated_envelope() {
         let p = RetryPolicy::default();
         assert_eq!(p.max_attempts, 3);
         assert_eq!(p.backoff_ms(0), 0.0);
-        let b1 = p.backoff_ms(1);
-        let b2 = p.backoff_ms(2);
-        let b3 = p.backoff_ms(3);
-        assert!(b1 > 0.0);
-        assert!(b2 > b1, "{b2} > {b1}");
-        assert!(b3 > b2, "{b3} > {b2}");
-        // Jitter bounded by ±10% of the exponential base.
-        assert!((b1 / 1.0 - 1.0).abs() <= 0.1 + 1e-12);
-        assert!((b2 / 2.0 - 1.0).abs() <= 0.1 + 1e-12);
+        // Every wait is bounded by [base, cap], and by the exponential
+        // envelope base × growth^k that decorrelated jitter never exceeds.
+        let growth = p.backoff_multiplier + 1.0;
+        for k in 1..=8u32 {
+            let b = p.backoff_ms(k);
+            assert!(b >= p.base_backoff_ms, "retry {k}: {b}");
+            assert!(b <= p.max_backoff_ms, "retry {k}: {b}");
+            assert!(
+                b <= p.base_backoff_ms * growth.powi(k as i32),
+                "retry {k}: {b}"
+            );
+        }
+        // A tight cap clamps every draw.
+        let capped = RetryPolicy {
+            max_backoff_ms: 2.5,
+            ..RetryPolicy::default()
+        };
+        for k in 1..=8u32 {
+            assert!(capped.backoff_ms(k) <= 2.5);
+        }
     }
 
     #[test]
     fn backoff_is_deterministic_per_seed() {
         let a = RetryPolicy::default();
         let b = RetryPolicy::default();
-        assert_eq!(a.backoff_ms(2), b.backoff_ms(2));
-        let other = RetryPolicy {
-            seed: 99,
-            ..RetryPolicy::default()
-        };
+        for k in 0..6 {
+            assert_eq!(a.backoff_ms(k).to_bits(), b.backoff_ms(k).to_bits());
+        }
+        let other = RetryPolicy::default().with_seed(99);
         assert_ne!(a.backoff_ms(2), other.backoff_ms(2));
+    }
+
+    #[test]
+    fn backoff_decorrelates_across_seeds() {
+        // Thundering-herd regression: a population of concurrently retrying
+        // clients (distinct seeds) must spread their first-retry waits over
+        // the envelope instead of waking simultaneously. Exponential backoff
+        // with ±10% jitter (the old scheme) kept everyone within a 20% band;
+        // decorrelated jitter must do strictly better than a 50% band.
+        let waits: Vec<f64> = (0..64u64)
+            .map(|seed| RetryPolicy::default().with_seed(seed).backoff_ms(1))
+            .collect();
+        let lo = waits.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = waits.iter().cloned().fold(0.0, f64::max);
+        assert!(
+            (hi - lo) / hi > 0.5,
+            "64 seeds spread only [{lo}, {hi}] at retry 1"
+        );
+        // And distinct retries of one client do not repeat each other.
+        let p = RetryPolicy::default().with_seed(7);
+        assert_ne!(p.backoff_ms(1), p.backoff_ms(2));
+    }
+
+    #[test]
+    fn deploy_options_defaults_are_unconstrained() {
+        let opts = DeployOptions::default();
+        assert!(opts.is_unconstrained());
+        assert!(!DeployOptions::with_deadline_ms(5.0).is_unconstrained());
+        assert!(!DeployOptions::default()
+            .avoiding(Some(Accelerator::Gpu))
+            .is_unconstrained());
     }
 
     #[test]

@@ -22,7 +22,7 @@
 
 use crate::cache::{CachedPrediction, InsertOutcome, PredKey, ShardedCache};
 use crate::metrics::MetricsRegistry;
-use heteromap::{HeteroMap, Placement, StreamReport};
+use heteromap::{DeployOptions, HeteroMap, Placement, StreamReport};
 use heteromap_accel::cost::WorkloadContext;
 use heteromap_accel::FaultPlan;
 use heteromap_graph::datasets::Dataset;
@@ -99,6 +99,10 @@ pub enum ServeSource {
         /// Whether the prediction rode in a coalesced batch.
         batched: bool,
     },
+    /// Served from the cache by the overload-shedding path: under
+    /// admission-control pressure a possibly-stale cached prediction beats
+    /// dropping the request (see `heteromap_serve::admission`).
+    StaleHit,
 }
 
 /// One served request: the placement plus serving provenance.
@@ -234,6 +238,16 @@ impl ServeEngine {
 
     /// Serves a fully custom workload context.
     pub fn schedule_context(&self, ctx: &WorkloadContext) -> Served {
+        self.schedule_context_opts(ctx, DeployOptions::default())
+    }
+
+    /// [`ServeEngine::schedule_context`] with per-request
+    /// [`DeployOptions`]: the deadline and breaker routing are threaded
+    /// through prediction resolution (cache, single-flight, batching) into
+    /// the resilient deploy loop, so backoff never outlives the request's
+    /// budget and open-breaker accelerators are routed around with the
+    /// configuration re-clamped.
+    pub fn schedule_context_opts(&self, ctx: &WorkloadContext, opts: DeployOptions) -> Served {
         let _span = heteromap_obs::span_cat("serve", "serve");
         let start = Instant::now();
         let model = self.model.read().expect("model lock poisoned");
@@ -274,9 +288,57 @@ impl ServeEngine {
             },
         };
 
-        let placement =
-            model.deploy_predicted(ctx, prediction.config, overhead_ms, prediction.fallbacks);
-        drop(model);
+        self.finish(&model, ctx, prediction, source, overhead_ms, opts, start)
+    }
+
+    /// Peeks the cache for an already-resolved prediction without running
+    /// any inference — the overload-shedding path uses this to serve a
+    /// possibly-stale answer instead of dropping the request.
+    pub fn peek_cached(&self, ctx: &WorkloadContext) -> Option<CachedPrediction> {
+        let model = self.model.read().expect("model lock poisoned");
+        let i = model.ivector(&ctx.stats);
+        self.cache.get(&PredKey::new(&ctx.b, &i))
+    }
+
+    /// Deploys an already-cached prediction under [`DeployOptions`],
+    /// charging only [`ServeConfig::hit_overhead_ms`] — the shedding path
+    /// of the admission controller ([`ServeSource::StaleHit`]).
+    pub fn serve_stale(&self, ctx: &WorkloadContext, opts: DeployOptions) -> Option<Served> {
+        let start = Instant::now();
+        let model = self.model.read().expect("model lock poisoned");
+        let i = model.ivector(&ctx.stats);
+        let prediction = self.cache.get(&PredKey::new(&ctx.b, &i))?;
+        Some(self.finish(
+            &model,
+            ctx,
+            prediction,
+            ServeSource::StaleHit,
+            self.config.hit_overhead_ms,
+            opts,
+            start,
+        ))
+    }
+
+    /// Shared tail of every serving path: deploy the prediction, record
+    /// metrics, and time the request.
+    #[allow(clippy::too_many_arguments)]
+    fn finish(
+        &self,
+        model: &HeteroMap,
+        ctx: &WorkloadContext,
+        prediction: CachedPrediction,
+        source: ServeSource,
+        overhead_ms: f64,
+        opts: DeployOptions,
+        start: Instant,
+    ) -> Served {
+        let placement = model.deploy_predicted_opts(
+            ctx,
+            prediction.config,
+            overhead_ms,
+            prediction.fallbacks,
+            opts,
+        );
         self.metrics.record_placement(&placement);
         let serve_latency_ms = start.elapsed().as_secs_f64() * 1e3;
         self.metrics.schedule_latency.record(serve_latency_ms);

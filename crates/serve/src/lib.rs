@@ -19,7 +19,13 @@
 //!   batch-size and latency histograms with p50/p95/p99, per-accelerator
 //!   placement counts) snapshotable as JSON;
 //! * [`instrument`] — [`MeteredRunner`], which feeds host kernel latencies
-//!   into the same registry.
+//!   into the same registry;
+//! * [`admission`] — [`AdmissionController`], the resilience front-end: a
+//!   bounded in-flight budget that sheds overload onto stale cached
+//!   predictions, per-request deadlines threaded into the core retry loop,
+//!   and per-accelerator circuit breakers that route requests around a
+//!   persistently failing accelerator. Refusals are typed ([`Rejected`]),
+//!   never silent.
 //!
 //! Because the cache stores predictions and re-runs the deterministic
 //! analytic deploy per request, cached, batched and uncached serving return
@@ -44,11 +50,13 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod admission;
 pub mod cache;
 pub mod engine;
 pub mod instrument;
 pub mod metrics;
 
+pub use admission::{AdmissionConfig, AdmissionController, AdmittedLoopReport, Rejected};
 pub use cache::{CachedPrediction, InsertOutcome, PredKey, ShardedCache};
 pub use engine::{ClosedLoopReport, ServeConfig, ServeEngine, ServeMode, ServeSource, Served};
 pub use instrument::MeteredRunner;

@@ -197,6 +197,23 @@ pub struct MetricsRegistry {
     pub stream_chunks: Counter,
     /// OOM re-streams performed by the streaming path.
     pub stream_restreams: Counter,
+    /// Requests admitted by the admission controller.
+    pub admitted: Counter,
+    /// Requests rejected for overload (in-flight budget full, no cached
+    /// prediction to shed onto).
+    pub rejected_overload: Counter,
+    /// Requests rejected because every accelerator's breaker was open or
+    /// every deploy leg failed.
+    pub rejected_unhealthy: Counter,
+    /// Requests that could not complete within their deadline.
+    pub deadline_misses: Counter,
+    /// Overloaded requests served a stale cached prediction instead of
+    /// being dropped.
+    pub stale_served: Counter,
+    /// Circuit-breaker trips (Closed/Half-open → Open).
+    pub breaker_opens: Counter,
+    /// Circuit-breaker recoveries (Half-open → Closed).
+    pub breaker_closes: Counter,
     /// End-to-end serve latency per request (ms).
     pub schedule_latency: Histogram,
     /// Host kernel-execution latency (ms), fed by `MeteredRunner`.
@@ -229,6 +246,13 @@ impl MetricsRegistry {
             failed_placements: Counter::new(),
             stream_chunks: Counter::new(),
             stream_restreams: Counter::new(),
+            admitted: Counter::new(),
+            rejected_overload: Counter::new(),
+            rejected_unhealthy: Counter::new(),
+            deadline_misses: Counter::new(),
+            stale_served: Counter::new(),
+            breaker_opens: Counter::new(),
+            breaker_closes: Counter::new(),
             schedule_latency: Histogram::latency_ms(),
             kernel_latency: Histogram::latency_ms(),
             batch_sizes: Histogram::batch_sizes(),
@@ -296,6 +320,13 @@ impl MetricsRegistry {
             failed_placements: self.failed_placements.get(),
             stream_chunks: self.stream_chunks.get(),
             stream_restreams: self.stream_restreams.get(),
+            admitted: self.admitted.get(),
+            rejected_overload: self.rejected_overload.get(),
+            rejected_unhealthy: self.rejected_unhealthy.get(),
+            deadline_misses: self.deadline_misses.get(),
+            stale_served: self.stale_served.get(),
+            breaker_opens: self.breaker_opens.get(),
+            breaker_closes: self.breaker_closes.get(),
             requests: self.schedule_latency.count(),
             schedule_p50_ms: self.schedule_latency.quantile(0.50),
             schedule_p95_ms: self.schedule_latency.quantile(0.95),
@@ -351,6 +382,20 @@ pub struct MetricsSnapshot {
     pub stream_chunks: u64,
     /// OOM re-streams.
     pub stream_restreams: u64,
+    /// Requests admitted by the admission controller.
+    pub admitted: u64,
+    /// Requests rejected for overload.
+    pub rejected_overload: u64,
+    /// Requests rejected with every accelerator unhealthy.
+    pub rejected_unhealthy: u64,
+    /// Requests that missed their deadline.
+    pub deadline_misses: u64,
+    /// Overloaded requests shed onto stale cached predictions.
+    pub stale_served: u64,
+    /// Circuit-breaker trips.
+    pub breaker_opens: u64,
+    /// Circuit-breaker recoveries.
+    pub breaker_closes: u64,
     /// Scheduled requests (latency samples).
     pub requests: u64,
     /// Median serve latency (ms).
@@ -409,6 +454,13 @@ impl MetricsSnapshot {
         field("failed_placements", self.failed_placements.to_string());
         field("stream_chunks", self.stream_chunks.to_string());
         field("stream_restreams", self.stream_restreams.to_string());
+        field("admitted", self.admitted.to_string());
+        field("rejected_overload", self.rejected_overload.to_string());
+        field("rejected_unhealthy", self.rejected_unhealthy.to_string());
+        field("deadline_misses", self.deadline_misses.to_string());
+        field("stale_served", self.stale_served.to_string());
+        field("breaker_opens", self.breaker_opens.to_string());
+        field("breaker_closes", self.breaker_closes.to_string());
         field("requests", self.requests.to_string());
         field("schedule_p50_ms", json_num(self.schedule_p50_ms));
         field("schedule_p95_ms", json_num(self.schedule_p95_ms));

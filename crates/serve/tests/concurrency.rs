@@ -267,6 +267,86 @@ fn invalidation_under_concurrency_is_safe_and_counted() {
 }
 
 #[test]
+fn invalidation_races_batched_inference_while_faults_are_active() {
+    use heteromap_accel::{FaultPlan, FaultState};
+    use heteromap_model::Accelerator;
+    use heteromap_predict::DecisionTree;
+
+    let engine = deep_engine(ServeMode::CachedBatched);
+    // Fault schedules the chaos thread cycles through mid-flight: flaky GPU,
+    // throttled multicore, dead GPU, healthy again.
+    let plans = [
+        FaultPlan::transient(0.7, 0xBAD),
+        FaultPlan::healthy().with_state(
+            Accelerator::Multicore,
+            FaultState::Degraded {
+                surviving_core_fraction: 0.1,
+            },
+        ),
+        FaultPlan::gpu_down(),
+        FaultPlan::healthy(),
+    ];
+    let requests = mixed_requests(3, 1);
+    let served: Vec<Served> = std::thread::scope(|scope| {
+        let eng = &engine;
+        let reqs = &requests;
+        let workers: Vec<_> = (0..8)
+            .map(|worker| {
+                scope.spawn(move || {
+                    reqs.iter()
+                        .skip(worker)
+                        .step_by(8)
+                        .map(|(w, stats)| eng.schedule_stats(*w, *stats))
+                        .collect::<Vec<Served>>()
+                })
+            })
+            .collect();
+        // The chaos thread: swap fault plans (each swap invalidates the
+        // cache), interleave explicit invalidations, and hot-swap the
+        // predictor once — all while batches are draining.
+        scope.spawn(|| {
+            for (i, plan) in plans.iter().cycle().take(12).enumerate() {
+                engine.set_fault_plan(*plan);
+                if i == 5 {
+                    engine.replace_predictor(Box::new(DecisionTree::paper()));
+                }
+                engine.invalidate();
+                std::thread::yield_now();
+            }
+        });
+        workers
+            .into_iter()
+            .flat_map(|h| h.join().expect("serving worker panicked"))
+            .collect()
+    });
+
+    // No panic, no deadlock, and every request resolved to a placement —
+    // possibly a failed-over or incomplete one while the GPU was down, but
+    // always a returned answer with a coherent attempt log.
+    assert_eq!(served.len(), requests.len());
+    for s in &served {
+        assert!(
+            s.placement.completed() || !s.placement.attempts.records.is_empty(),
+            "an unfinished placement must carry the failure evidence"
+        );
+    }
+    let snap = engine.metrics().snapshot();
+    assert_eq!(snap.requests, requests.len() as u64);
+    assert!(
+        snap.cache_invalidations >= 12,
+        "both invalidation paths count"
+    );
+
+    // The engine settles: with the final healthy plan installed, a fresh
+    // answer matches the live model exactly.
+    let (w, stats) = requests[0];
+    let after = engine.schedule_stats(w, stats);
+    let reference = engine.with_model(|m| m.schedule_stats(w, stats));
+    assert_eq!(after.placement.config, reference.config);
+    assert!(after.placement.completed());
+}
+
+#[test]
 fn metrics_snapshot_reports_rates_distribution_and_latency() {
     let engine = deep_engine(ServeMode::CachedBatched);
     let requests = mixed_requests(3, 1);

@@ -150,6 +150,51 @@ proptest! {
     }
 }
 
+// Robustness: random chaos plans, any thread count — the harness must never
+// panic, never deadlock (the run returning at all is the deadlock check),
+// account for every request, and stay bit-reproducible across thread counts.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn chaos_runs_resolve_every_request_at_any_thread_count(
+        seed in 0u64..10_000,
+        intensity in 0.0f64..=1.0,
+        rounds in 1u32..12,
+        requests_per_round in 1u32..8,
+        episode_len in 1u32..5,
+        threads in 1usize..8,
+    ) {
+        // The vendored proptest stub has no bool strategy; split on parity.
+        let resilient = seed % 2 == 0;
+        let plan = heteromap_chaos::ChaosPlan {
+            seed,
+            intensity,
+            rounds,
+            requests_per_round,
+            episode_len,
+            deadline_factor: 3.0,
+        };
+        let runner = heteromap_chaos::ChaosRunner::new(plan, resilient);
+        let report = runner.run(threads);
+        prop_assert!(report.fully_accounted(), "good {} late {} failed {} shed {} of {}",
+            report.good, report.late, report.failed, report.shed, report.requests);
+        prop_assert_eq!(report.requests,
+            rounds as usize * requests_per_round as usize);
+        if !resilient {
+            prop_assert_eq!(report.shed, 0);
+            prop_assert_eq!(report.breaker_opens, 0);
+        }
+        // Same plan, different worker count, bit-identical outcome.
+        let other = runner.run(threads % 4 + 1);
+        prop_assert_eq!(other.digest, report.digest);
+        prop_assert_eq!(
+            (other.good, other.late, other.failed, other.shed),
+            (report.good, report.late, report.failed, report.shed)
+        );
+    }
+}
+
 // Robustness: the readers must reject, never panic on, arbitrary bytes.
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]

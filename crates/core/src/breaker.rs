@@ -423,7 +423,8 @@ mod tests {
                         outcome: AttemptOutcome::Success,
                         charged_ms: 0.0,
                     },
-                ],
+                ]
+                .into(),
                 failovers: 1,
                 ..AttemptLog::default()
             },
@@ -480,7 +481,8 @@ mod tests {
                         outcome: AttemptOutcome::Success,
                         charged_ms: 0.0,
                     },
-                ],
+                ]
+                .into(),
                 failovers: 1,
                 retry_time_ms: 9.0,
                 ..AttemptLog::default()
@@ -534,7 +536,8 @@ mod tests {
                         },
                         charged_ms: 0.0,
                     },
-                ],
+                ]
+                .into(),
                 ..AttemptLog::default()
             },
         };

@@ -308,12 +308,29 @@ impl HeteroMap {
     /// result falls down the same feasibility chain. Outputs are
     /// bit-identical to per-query `predict_config`.
     pub fn predict_configs(&self, queries: &[(BVector, IVector)]) -> Vec<(MConfig, u32)> {
-        self.predictor
-            .predict_batch(queries)
-            .into_iter()
-            .zip(queries)
-            .map(|(config, (b, i))| self.rescue_infeasible(config, b, i))
-            .collect()
+        let mut raw = Vec::with_capacity(queries.len());
+        let mut out = Vec::with_capacity(queries.len());
+        self.predict_configs_into(queries, &mut raw, &mut out);
+        out
+    }
+
+    /// [`HeteroMap::predict_configs`] writing into caller-provided buffers
+    /// (both cleared first): `raw` holds the predictor's batch output, `out`
+    /// the feasibility-rescued results. A serving loop that reuses the
+    /// buffers runs the whole batched prediction without heap allocation.
+    pub fn predict_configs_into(
+        &self,
+        queries: &[(BVector, IVector)],
+        raw: &mut Vec<MConfig>,
+        out: &mut Vec<(MConfig, u32)>,
+    ) {
+        self.predictor.predict_batch_into(queries, raw);
+        out.clear();
+        out.extend(
+            raw.iter()
+                .zip(queries)
+                .map(|(&config, (b, i))| self.rescue_infeasible(config, b, i)),
+        );
     }
 
     fn rescue_infeasible(&self, config: MConfig, b: &BVector, i: &IVector) -> (MConfig, u32) {

@@ -214,11 +214,123 @@ pub struct AttemptRecord {
     pub charged_ms: f64,
 }
 
+/// Inline-first list of [`AttemptRecord`]s.
+///
+/// The fault-free fast path logs exactly one record per request, and almost
+/// every faulty decision fits in two — so the first two records live inline
+/// and only deeper retry chains spill to the heap. This keeps the serving
+/// steady state allocation-free (`clean_success` was the last heap
+/// allocation on the cached hot path). Dereferences to `&[AttemptRecord]`,
+/// so call sites read it exactly like the `Vec` it replaced.
+#[derive(Debug, Clone)]
+pub struct AttemptList {
+    inline: [AttemptRecord; Self::INLINE],
+    inline_len: u8,
+    /// Non-empty iff the list outgrew the inline capacity; then it holds
+    /// *all* records and `inline` is dead.
+    spill: Vec<AttemptRecord>,
+}
+
+impl Default for AttemptList {
+    fn default() -> Self {
+        // The inline slots need an initialized (never observed) filler;
+        // only `..inline_len` is ever exposed.
+        const FILLER: AttemptRecord = AttemptRecord {
+            accelerator: Accelerator::Multicore,
+            attempt: 0,
+            outcome: AttemptOutcome::Success,
+            charged_ms: 0.0,
+        };
+        AttemptList {
+            inline: [FILLER; Self::INLINE],
+            inline_len: 0,
+            spill: Vec::new(),
+        }
+    }
+}
+
+impl AttemptList {
+    const INLINE: usize = 2;
+
+    /// An empty list.
+    pub fn new() -> Self {
+        AttemptList::default()
+    }
+
+    /// Appends a record (inline until the third, heap after).
+    pub fn push(&mut self, record: AttemptRecord) {
+        if !self.spill.is_empty() {
+            self.spill.push(record);
+        } else if (self.inline_len as usize) < Self::INLINE {
+            self.inline[self.inline_len as usize] = record;
+            self.inline_len += 1;
+        } else {
+            self.spill.reserve(Self::INLINE + 1);
+            self.spill
+                .extend_from_slice(&self.inline[..self.inline_len as usize]);
+            self.spill.push(record);
+        }
+    }
+
+    /// The records as a slice (also available through deref).
+    pub fn as_slice(&self) -> &[AttemptRecord] {
+        if self.spill.is_empty() {
+            &self.inline[..self.inline_len as usize]
+        } else {
+            &self.spill
+        }
+    }
+}
+
+impl std::ops::Deref for AttemptList {
+    type Target = [AttemptRecord];
+
+    fn deref(&self) -> &[AttemptRecord] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for AttemptList {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<'a> IntoIterator for &'a AttemptList {
+    type Item = &'a AttemptRecord;
+    type IntoIter = std::slice::Iter<'a, AttemptRecord>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl FromIterator<AttemptRecord> for AttemptList {
+    fn from_iter<T: IntoIterator<Item = AttemptRecord>>(iter: T) -> Self {
+        let mut list = AttemptList::new();
+        for r in iter {
+            list.push(r);
+        }
+        list
+    }
+}
+
+impl From<Vec<AttemptRecord>> for AttemptList {
+    fn from(records: Vec<AttemptRecord>) -> Self {
+        records.into_iter().collect()
+    }
+}
+
+// The vendored serde is a marker-trait stub, so persistence support needs
+// only the marker impls (derive would demand `AttemptRecord: Default`).
+impl Serialize for AttemptList {}
+impl<'de> Deserialize<'de> for AttemptList {}
+
 /// Audit trail of one scheduling decision under faults.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub struct AttemptLog {
     /// Every deploy attempt, in temporal order.
-    pub records: Vec<AttemptRecord>,
+    pub records: AttemptList,
     /// How many times scheduling moved to the other accelerator.
     pub failovers: u32,
     /// How many successful deploys ran on degraded (partial-core) silicon.
@@ -235,13 +347,15 @@ impl AttemptLog {
     /// The log of a clean first-attempt success on `accelerator` — what the
     /// fault-free fast path records.
     pub fn clean_success(accelerator: Accelerator) -> Self {
+        let mut records = AttemptList::new();
+        records.push(AttemptRecord {
+            accelerator,
+            attempt: 0,
+            outcome: AttemptOutcome::Success,
+            charged_ms: 0.0,
+        });
         AttemptLog {
-            records: vec![AttemptRecord {
-                accelerator,
-                attempt: 0,
-                outcome: AttemptOutcome::Success,
-                charged_ms: 0.0,
-            }],
+            records,
             ..AttemptLog::default()
         }
     }

@@ -1,0 +1,135 @@
+//! Feature-gated allocation probe for zero-allocation assertions.
+//!
+//! The serving hot path claims to be allocation-free in steady state; a
+//! claim like that rots silently unless something counts. With the
+//! `alloc-probe` feature enabled, this module installs a counting
+//! `#[global_allocator]` (a pass-through wrapper over [`std::alloc::System`]
+//! with one thread-local counter bump per `alloc`/`realloc`) so a test can
+//! bracket a code region with [`thread_alloc_count`] and assert the delta is
+//! zero. Without the feature nothing is installed, [`probe_enabled`] returns
+//! `false`, and the count reads zero — callers skip gracefully.
+//!
+//! The counter is per-thread: a probe around single-threaded steady-state
+//! serving is not perturbed by allocations on other threads.
+
+#[cfg(feature = "alloc-probe")]
+mod imp {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::cell::Cell;
+
+    thread_local! {
+        // `const` init keeps first TLS access allocation-free, so the probe
+        // itself never recurses into the allocator.
+        static THREAD_ALLOCS: Cell<u64> = const { Cell::new(0) };
+    }
+
+    /// Pass-through allocator that counts `alloc`/`realloc` calls per thread.
+    struct CountingAllocator;
+
+    impl CountingAllocator {
+        #[inline]
+        fn bump() {
+            // `try_with`: allocation during TLS teardown must not panic.
+            let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
+        }
+    }
+
+    unsafe impl GlobalAlloc for CountingAllocator {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            Self::bump();
+            unsafe { System.alloc(layout) }
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) }
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            Self::bump();
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            Self::bump();
+            unsafe { System.alloc_zeroed(layout) }
+        }
+    }
+
+    #[global_allocator]
+    static PROBE: CountingAllocator = CountingAllocator;
+
+    pub fn thread_alloc_count() -> u64 {
+        THREAD_ALLOCS.try_with(|c| c.get()).unwrap_or(0)
+    }
+
+    pub const fn probe_enabled() -> bool {
+        true
+    }
+}
+
+#[cfg(not(feature = "alloc-probe"))]
+mod imp {
+    pub fn thread_alloc_count() -> u64 {
+        0
+    }
+
+    pub const fn probe_enabled() -> bool {
+        false
+    }
+}
+
+/// Number of heap allocations (`alloc` + `realloc` + `alloc_zeroed`) this
+/// thread has performed since it started. Monotone; diff two readings to
+/// count allocations in a region. Always `0` when [`probe_enabled`] is
+/// `false`.
+pub fn thread_alloc_count() -> u64 {
+    imp::thread_alloc_count()
+}
+
+/// Whether the counting allocator is installed (the `alloc-probe` feature).
+/// Zero-allocation assertions must be skipped when this is `false` — a zero
+/// reading then means "not measured", not "no allocations".
+pub const fn probe_enabled() -> bool {
+    imp::probe_enabled()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_probe_reads_zero() {
+        if !probe_enabled() {
+            let _v: Vec<u64> = (0..64).collect();
+            assert_eq!(thread_alloc_count(), 0);
+        }
+    }
+
+    #[test]
+    fn enabled_probe_counts_and_is_monotone() {
+        if !probe_enabled() {
+            return;
+        }
+        let before = thread_alloc_count();
+        let v: Vec<u64> = Vec::with_capacity(128);
+        let after = thread_alloc_count();
+        assert!(after > before, "allocation must be counted");
+        drop(v);
+        assert!(thread_alloc_count() >= after, "monotone");
+    }
+
+    #[test]
+    fn pure_arithmetic_allocates_nothing() {
+        if !probe_enabled() {
+            return;
+        }
+        let warm: u64 = (0..10u64).sum();
+        let before = thread_alloc_count();
+        let mut acc = warm;
+        for k in 0..1000u64 {
+            acc = acc.wrapping_mul(31).wrapping_add(k);
+        }
+        let after = thread_alloc_count();
+        assert_eq!(after, before, "arithmetic loop allocated (acc={acc})");
+    }
+}

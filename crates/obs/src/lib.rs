@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_op_in_unsafe_fn)]
 
+pub mod alloc;
 mod clock;
 mod config;
 mod event;
@@ -45,6 +46,7 @@ mod recorder;
 mod span;
 pub mod util;
 
+pub use alloc::{probe_enabled, thread_alloc_count};
 pub use clock::{now_ns, thread_id};
 pub use config::{
     enabled, level, quiet, set_level, set_quiet, TraceLevel, QUIET_ENV_VAR, TRACE_ENV_VAR,

@@ -1,6 +1,132 @@
-//! Minimal dense linear algebra: just enough for ridge regression via
-//! normal equations (the paper fits its regression in Matlab and ports it to
-//! C++; we solve in-crate instead — DESIGN.md §2).
+//! Minimal dense linear algebra: ridge regression via normal equations
+//! (the paper fits its regression in Matlab and ports it to C++; we solve
+//! in-crate instead — DESIGN.md §2) plus the lane-unrolled dense kernels
+//! behind the neural predictor's forward pass (DESIGN.md §14).
+//!
+//! # Lane-order arithmetic
+//!
+//! [`dot_lanes`] accumulates a dot product into [`LANES`] independent
+//! partial sums (one per unrolled lane) and combines them in a **fixed
+//! reduction tree**. Independent accumulators break the sequential
+//! dependence chain, so the compiler vectorizes the inner loop (f64x4/f64x8
+//! on AVX hardware) and the CPU overlaps the multiplies — this is where the
+//! batched inference path gets its throughput. The combine order is part of
+//! the contract: [`dot_lanes_reference`] is a deliberately naive scalar
+//! transcription of the *same* arithmetic order, kept as the
+//! bit-equivalence oracle for the optimized kernels. Every prediction path
+//! (single, batched, blocked) must agree with the reference bit-for-bit.
+
+/// Unroll width of the lane kernels. Eight f64 accumulators cover an
+/// f32x8-style register blocking on AVX2 (two f64x4 vectors) while staying a
+/// plain scalar loop on hardware without SIMD.
+pub const LANES: usize = 8;
+
+/// Lane-unrolled dot product of `a` and `b` over the shorter length.
+///
+/// Accumulation order: element `k` of chunk `c` adds into lane accumulator
+/// `k`; lanes combine as `((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7))`; the tail
+/// (length `< LANES`) is then added sequentially. Bit-identical to
+/// [`dot_lanes_reference`] by construction — asserted across the 81-combo
+/// sweep in the workspace serving tests.
+#[inline]
+pub fn dot_lanes(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len().min(b.len());
+    let (a, b) = (&a[..n], &b[..n]);
+    let mut acc = [0.0f64; LANES];
+    let mut chunks_a = a.chunks_exact(LANES);
+    let mut chunks_b = b.chunks_exact(LANES);
+    for (ca, cb) in (&mut chunks_a).zip(&mut chunks_b) {
+        for k in 0..LANES {
+            acc[k] += ca[k] * cb[k];
+        }
+    }
+    let mut sum = ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]));
+    for (x, y) in chunks_a.remainder().iter().zip(chunks_b.remainder()) {
+        sum += x * y;
+    }
+    sum
+}
+
+/// Naive scalar mirror of [`dot_lanes`]: the same arithmetic in the same
+/// order, written with plain indexed loops and no unrolling hints. This is
+/// the reference the optimized kernels are tested against — do not "fix" its
+/// accumulation order.
+pub fn dot_lanes_reference(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len().min(b.len());
+    let mut acc = [0.0f64; LANES];
+    let full = n - n % LANES;
+    let mut i = 0;
+    while i < full {
+        acc[i % LANES] += a[i] * b[i];
+        i += 1;
+    }
+    let mut sum = ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]));
+    while i < n {
+        sum += a[i] * b[i];
+        i += 1;
+    }
+    sum
+}
+
+/// Dense `out = W · x + bias` for a row-major `outputs × inputs` weight
+/// matrix, each row reduced with [`dot_lanes`].
+///
+/// # Panics
+///
+/// Panics if the slice shapes disagree.
+pub fn matvec_bias(weights: &[f64], biases: &[f64], inputs: usize, x: &[f64], out: &mut [f64]) {
+    let outputs = biases.len();
+    assert_eq!(weights.len(), inputs * outputs, "weight matrix shape");
+    assert_eq!(x.len(), inputs, "input vector shape");
+    assert_eq!(out.len(), outputs, "output vector shape");
+    for (o, (row, slot)) in weights.chunks_exact(inputs).zip(out.iter_mut()).enumerate() {
+        *slot = dot_lanes(row, x) + biases[o];
+    }
+}
+
+/// Row block size of the cache-blocked batched kernel: 16 weight rows of
+/// width ≤ 128 are ≤ 16 KiB of f64 — they stay L1-resident while the block
+/// sweeps every sample in the batch.
+const ROW_BLOCK: usize = 16;
+
+/// Cache-blocked batched `out[n] = W · xs[n] + bias` over `n_rows` samples
+/// stored as flat row-major `n_rows × inputs` (the activation arena layout).
+///
+/// The weight matrix is walked in [`ROW_BLOCK`]-row blocks with the sample
+/// loop inside, so each weight block is loaded from cache once per batch
+/// instead of once per sample. Every `(sample, output)` element is computed
+/// by the same [`dot_lanes`] call as the unbatched [`matvec_bias`], so
+/// blocking cannot change a single bit of the result.
+///
+/// # Panics
+///
+/// Panics if the slice shapes disagree.
+pub fn matmul_bias_blocked(
+    weights: &[f64],
+    biases: &[f64],
+    inputs: usize,
+    xs: &[f64],
+    n_rows: usize,
+    out: &mut [f64],
+) {
+    let outputs = biases.len();
+    assert_eq!(weights.len(), inputs * outputs, "weight matrix shape");
+    assert_eq!(xs.len(), n_rows * inputs, "input arena shape");
+    assert_eq!(out.len(), n_rows * outputs, "output arena shape");
+    let mut block_start = 0;
+    while block_start < outputs {
+        let block_end = (block_start + ROW_BLOCK).min(outputs);
+        for n in 0..n_rows {
+            let x = &xs[n * inputs..(n + 1) * inputs];
+            let out_row = &mut out[n * outputs..(n + 1) * outputs];
+            for o in block_start..block_end {
+                let row = &weights[o * inputs..(o + 1) * inputs];
+                out_row[o] = dot_lanes(row, x) + biases[o];
+            }
+        }
+        block_start = block_end;
+    }
+}
 
 /// A dense row-major matrix of `f64`.
 #[derive(Debug, Clone, PartialEq)]
@@ -241,5 +367,77 @@ mod tests {
     #[should_panic(expected = "data length mismatch")]
     fn bad_dimensions_panic() {
         let _ = Matrix::from_rows(2, 2, vec![1.0]);
+    }
+
+    /// Deterministic pseudo-random test vectors (no RNG dependency here).
+    fn wavy(len: usize, phase: f64) -> Vec<f64> {
+        (0..len)
+            .map(|i| ((i as f64) * 0.7 + phase).sin() * 3.0 + 0.1)
+            .collect()
+    }
+
+    #[test]
+    fn dot_lanes_matches_reference_bitwise_across_lengths() {
+        for len in [0, 1, 7, 8, 9, 15, 16, 17, 64, 65, 100, 128, 129] {
+            let a = wavy(len, 0.3);
+            let b = wavy(len, 1.9);
+            assert_eq!(
+                dot_lanes(&a, &b).to_bits(),
+                dot_lanes_reference(&a, &b).to_bits(),
+                "len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn dot_lanes_is_a_real_dot_product() {
+        let a = wavy(37, 0.0);
+        let b = wavy(37, 2.2);
+        let naive: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        assert!((dot_lanes(&a, &b) - naive).abs() < 1e-9 * naive.abs().max(1.0));
+    }
+
+    #[test]
+    fn matvec_bias_matches_per_row_reference() {
+        let (inputs, outputs) = (17, 20);
+        let weights = wavy(inputs * outputs, 0.5);
+        let biases = wavy(outputs, 4.0);
+        let x = wavy(inputs, 1.1);
+        let mut out = vec![0.0; outputs];
+        matvec_bias(&weights, &biases, inputs, &x, &mut out);
+        for o in 0..outputs {
+            let expect =
+                dot_lanes_reference(&weights[o * inputs..(o + 1) * inputs], &x) + biases[o];
+            assert_eq!(out[o].to_bits(), expect.to_bits(), "row {o}");
+        }
+    }
+
+    #[test]
+    fn blocked_matmul_is_bit_identical_to_repeated_matvec() {
+        // Widths straddling ROW_BLOCK and LANES boundaries.
+        for (inputs, outputs, n_rows) in [(17, 20, 5), (128, 128, 3), (13, 33, 9), (8, 16, 1)] {
+            let weights = wavy(inputs * outputs, 0.9);
+            let biases = wavy(outputs, 2.5);
+            let xs = wavy(n_rows * inputs, 1.7);
+            let mut blocked = vec![0.0; n_rows * outputs];
+            matmul_bias_blocked(&weights, &biases, inputs, &xs, n_rows, &mut blocked);
+            let mut single = vec![0.0; outputs];
+            for n in 0..n_rows {
+                matvec_bias(
+                    &weights,
+                    &biases,
+                    inputs,
+                    &xs[n * inputs..(n + 1) * inputs],
+                    &mut single,
+                );
+                for o in 0..outputs {
+                    assert_eq!(
+                        blocked[n * outputs + o].to_bits(),
+                        single[o].to_bits(),
+                        "sample {n} row {o} ({inputs}x{outputs})"
+                    );
+                }
+            }
+        }
     }
 }

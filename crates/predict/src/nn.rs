@@ -6,12 +6,14 @@
 //! plain mini-batch SGD with momentum on MSE loss, implemented from scratch
 //! (no external ML dependency).
 
+use crate::linalg::{dot_lanes_reference, matmul_bias_blocked, matvec_bias};
 use crate::predictor::{features, Predictor, TrainingSet};
 use heteromap_model::{BVector, IVector, MConfig, BI_DIM, M_DIM};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 
 /// One fully-connected layer with sigmoid activation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -62,23 +64,48 @@ impl Layer {
         }
     }
 
-    fn forward(&self, input: &[f64], out: &mut Vec<f64>) {
-        out.clear();
-        for o in 0..self.outputs {
-            let row = &self.weights[o * self.inputs..(o + 1) * self.inputs];
-            let z: f64 = row
-                .iter()
-                .zip(input.iter())
-                .map(|(w, x)| w * x)
-                .sum::<f64>()
-                + self.biases[o];
-            out.push(sigmoid(z));
+    /// `out = sigmoid(W · input + bias)` through the lane-unrolled kernel.
+    fn forward_into(&self, input: &[f64], out: &mut [f64]) {
+        matvec_bias(&self.weights, &self.biases, self.inputs, input, out);
+        for v in out.iter_mut() {
+            *v = sigmoid(*v);
         }
+    }
+
+    /// Vec-returning wrapper used by the training loop (resizes, does not
+    /// reallocate once warm).
+    fn forward(&self, input: &[f64], out: &mut Vec<f64>) {
+        out.resize(self.outputs, 0.0);
+        self.forward_into(input, out);
     }
 }
 
 fn sigmoid(z: f64) -> f64 {
     1.0 / (1.0 + (-z).exp())
+}
+
+/// Reusable flat activation arena for the forward pass: two row-major
+/// ping-pong buffers sized `batch × widest-layer`. One scratch per worker
+/// thread makes inference allocation-free in steady state — the buffers grow
+/// to the largest batch seen and are then reused verbatim.
+#[derive(Debug, Default, Clone)]
+pub struct InferenceScratch {
+    ping: Vec<f64>,
+    pong: Vec<f64>,
+}
+
+impl InferenceScratch {
+    /// An empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        InferenceScratch::default()
+    }
+}
+
+thread_local! {
+    /// Per-thread scratch backing the allocating convenience entry points
+    /// (`predict`, `predict_batch`): first use warms the buffers, every
+    /// later inference on the thread is allocation-free.
+    static TLS_SCRATCH: RefCell<InferenceScratch> = RefCell::new(InferenceScratch::new());
 }
 
 /// Hyper-parameters for training.
@@ -203,8 +230,10 @@ impl NeuralPredictor {
     pub fn mse(&self, set: &TrainingSet) -> f64 {
         let mut total = 0.0;
         let mut n = 0;
+        let mut scratch = InferenceScratch::new();
+        let mut out = [0.0; M_DIM];
         for s in set.samples() {
-            let out = self.forward(&features(&s.b, &s.i));
+            self.forward_into(&features(&s.b, &s.i), &mut scratch, &mut out);
             for (o, t) in out.iter().zip(s.optimal.as_array().iter()) {
                 total += (o - t) * (o - t);
                 n += 1;
@@ -213,42 +242,105 @@ impl NeuralPredictor {
         total / n.max(1) as f64
     }
 
-    fn forward(&self, x: &[f64; BI_DIM]) -> Vec<f64> {
-        let mut cur = x.to_vec();
-        let mut next = Vec::new();
-        for layer in &self.layers {
-            layer.forward(&cur, &mut next);
-            std::mem::swap(&mut cur, &mut next);
-        }
-        cur
+    /// The widest activation any layer produces (scratch sizing).
+    fn max_width(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.outputs.max(l.inputs))
+            .max()
+            .unwrap_or(0)
     }
 
-    /// Batched forward pass: one sweep over each layer's weight matrix
-    /// serves every row (a naive matrix-matrix product, weight-row-major so
-    /// each row of the matrix is loaded once per layer instead of once per
-    /// sample).
+    /// Single-sample forward pass into a caller-provided output buffer,
+    /// using `scratch` for intermediate activations. Allocation-free once
+    /// the scratch is warm.
     ///
-    /// Per-element accumulation order matches [`NeuralPredictor::forward`]
-    /// exactly, so the outputs are bit-identical to per-sample inference —
-    /// the property the serving layer's batched path relies on.
-    fn forward_batch(&self, xs: &[[f64; BI_DIM]]) -> Vec<Vec<f64>> {
-        let mut cur: Vec<Vec<f64>> = xs.iter().map(|x| x.to_vec()).collect();
+    /// # Panics
+    ///
+    /// Panics if `out.len()` is not the output layer's width.
+    pub fn forward_into(&self, x: &[f64; BI_DIM], scratch: &mut InferenceScratch, out: &mut [f64]) {
+        self.forward_batch_into(x.as_slice(), 1, scratch, out);
+    }
+
+    /// Batched forward pass over a flat row-major `n × BI_DIM` input arena
+    /// into a flat row-major `n × M_DIM` output buffer — the allocation-free
+    /// core every prediction path funnels through.
+    ///
+    /// Each layer is one cache-blocked matrix-matrix product
+    /// ([`matmul_bias_blocked`]): weight-row blocks stay L1-resident while
+    /// sweeping the batch, intermediate activations live in the flat
+    /// ping-pong arena of `scratch`. Every `(sample, neuron)` element is
+    /// reduced by the same lane-ordered kernel as single-sample inference,
+    /// so batched outputs are **bit-identical** to per-sample outputs — the
+    /// property the serving layer's batched path relies on — and both are
+    /// bit-identical to [`NeuralPredictor::forward_reference`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs.len() != n × BI_DIM` or `out.len() != n × M_DIM`.
+    pub fn forward_batch_into(
+        &self,
+        xs: &[f64],
+        n: usize,
+        scratch: &mut InferenceScratch,
+        out: &mut [f64],
+    ) {
+        assert_eq!(xs.len(), n * BI_DIM, "input arena shape");
+        let last = self.layers.len() - 1;
+        assert_eq!(out.len(), n * self.layers[last].outputs, "output shape");
+        let width = self.max_width();
+        scratch.ping.resize(n * width, 0.0);
+        scratch.pong.resize(n * width, 0.0);
+        // `ping` holds the current layer's input (except layer 0, which
+        // reads `xs` directly); each layer writes `pong` (or `out`) and the
+        // buffers swap.
+        let mut first = true;
+        for (l, layer) in self.layers.iter().enumerate() {
+            let input: &[f64] = if first { xs } else { &scratch.ping };
+            let target: &mut [f64] = if l == last {
+                out
+            } else {
+                &mut scratch.pong[..n * layer.outputs]
+            };
+            matmul_bias_blocked(
+                &layer.weights,
+                &layer.biases,
+                layer.inputs,
+                &input[..n * layer.inputs],
+                n,
+                target,
+            );
+            for v in target.iter_mut() {
+                *v = sigmoid(*v);
+            }
+            std::mem::swap(&mut scratch.ping, &mut scratch.pong);
+            first = false;
+        }
+    }
+
+    /// The deliberately naive scalar forward pass: plain indexed loops over
+    /// freshly allocated activations, mirroring the lane kernels' arithmetic
+    /// order via [`dot_lanes_reference`]. This is the bit-equivalence oracle
+    /// for the optimized paths — kept slow and obvious on purpose.
+    pub fn forward_reference(&self, x: &[f64; BI_DIM]) -> Vec<f64> {
+        let mut cur: Vec<f64> = x.to_vec();
         for layer in &self.layers {
-            let mut next: Vec<Vec<f64>> = vec![vec![0.0; layer.outputs]; cur.len()];
-            for (o, (row, bias)) in layer
-                .weights
-                .chunks_exact(layer.inputs)
-                .zip(layer.biases.iter())
-                .enumerate()
-            {
-                for (x, out) in cur.iter().zip(next.iter_mut()) {
-                    let z: f64 = row.iter().zip(x.iter()).map(|(w, xi)| w * xi).sum::<f64>() + bias;
-                    out[o] = sigmoid(z);
-                }
+            let mut next = vec![0.0; layer.outputs];
+            for (o, slot) in next.iter_mut().enumerate() {
+                let row = &layer.weights[o * layer.inputs..(o + 1) * layer.inputs];
+                *slot = sigmoid(dot_lanes_reference(row, &cur) + layer.biases[o]);
             }
             cur = next;
         }
         cur
+    }
+
+    /// [`Predictor::predict`] through the scalar reference path (tests).
+    pub fn predict_reference(&self, b: &BVector, i: &IVector) -> MConfig {
+        let out = self.forward_reference(&features(b, i));
+        let mut arr = [0.0; M_DIM];
+        arr.copy_from_slice(&out);
+        MConfig::from_array(arr)
     }
 
     /// Approximate multiply count per inference (overhead analysis).
@@ -273,22 +365,44 @@ impl Predictor for NeuralPredictor {
     }
 
     fn predict(&self, b: &BVector, i: &IVector) -> MConfig {
-        let out = self.forward(&features(b, i));
+        // Allocation-free in steady state: features on the stack, the
+        // activation arena reused from thread-local scratch.
         let mut arr = [0.0; M_DIM];
-        arr.copy_from_slice(&out);
+        TLS_SCRATCH.with(|scratch| {
+            self.forward_into(&features(b, i), &mut scratch.borrow_mut(), &mut arr);
+        });
         MConfig::from_array(arr)
     }
 
-    fn predict_batch(&self, queries: &[(BVector, IVector)]) -> Vec<MConfig> {
-        let xs: Vec<[f64; BI_DIM]> = queries.iter().map(|(b, i)| features(b, i)).collect();
-        self.forward_batch(&xs)
-            .into_iter()
-            .map(|out| {
-                let mut arr = [0.0; M_DIM];
-                arr.copy_from_slice(&out);
-                MConfig::from_array(arr)
-            })
-            .collect()
+    fn predict_batch_into(&self, queries: &[(BVector, IVector)], out: &mut Vec<MConfig>) {
+        out.clear();
+        if queries.is_empty() {
+            return;
+        }
+        TLS_SCRATCH.with(|scratch| {
+            let mut scratch = scratch.borrow_mut();
+            // Fixed-size stack chunks bound the flat input/output arenas so
+            // arbitrarily large batches run without per-call heap traffic.
+            const CHUNK: usize = 128;
+            let mut xs = [0.0; CHUNK * BI_DIM];
+            let mut ys = [0.0; CHUNK * M_DIM];
+            for chunk in queries.chunks(CHUNK) {
+                for (row, (b, i)) in chunk.iter().enumerate() {
+                    xs[row * BI_DIM..(row + 1) * BI_DIM].copy_from_slice(&features(b, i));
+                }
+                self.forward_batch_into(
+                    &xs[..chunk.len() * BI_DIM],
+                    chunk.len(),
+                    &mut scratch,
+                    &mut ys[..chunk.len() * M_DIM],
+                );
+                for row in 0..chunk.len() {
+                    let mut arr = [0.0; M_DIM];
+                    arr.copy_from_slice(&ys[row * M_DIM..(row + 1) * M_DIM]);
+                    out.push(MConfig::from_array(arr));
+                }
+            }
+        });
     }
 
     fn inference_flops(&self) -> usize {

@@ -34,7 +34,18 @@ pub trait Predictor {
     /// per-item `predict` — the serving layer relies on that to return the
     /// same placement from its cached, batched and uncached paths.
     fn predict_batch(&self, queries: &[(BVector, IVector)]) -> Vec<MConfig> {
-        queries.iter().map(|(b, i)| self.predict(b, i)).collect()
+        let mut out = Vec::with_capacity(queries.len());
+        self.predict_batch_into(queries, &mut out);
+        out
+    }
+
+    /// Like [`Predictor::predict_batch`] but writing into a caller-provided
+    /// buffer (cleared first), so steady-state serving loops can reuse one
+    /// allocation across batches. Same bit-identity contract as
+    /// `predict_batch`.
+    fn predict_batch_into(&self, queries: &[(BVector, IVector)], out: &mut Vec<MConfig>) {
+        out.clear();
+        out.extend(queries.iter().map(|(b, i)| self.predict(b, i)));
     }
 
     /// Deterministic cost of one inference in multiply-accumulates

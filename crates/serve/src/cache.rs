@@ -16,19 +16,52 @@
 //! cache carries a generation counter for explicit invalidation when the
 //! fault plan or predictor changes.
 
+use crate::pad::CacheAligned;
 use heteromap_model::{BVector, IVector, MConfig, BI_DIM};
-use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
+use std::hash::{BuildHasherDefault, Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+
+/// Multiplier of the FxHash word fold (Firefox's hasher): fast, fixed, and
+/// good enough for keys that are already full-entropy `f64` bit patterns.
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Folds a word into an FxHash-style running hash.
+#[inline]
+fn fx_fold(hash: u64, word: u64) -> u64 {
+    (hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED)
+}
 
 /// Cache key: the exact bit patterns of the 13 B + 4 I variables, plus the
 /// four raw statistics behind the `I` vector (vertices, edges, max degree,
 /// diameter) — everything a [`heteromap_predict::Predictor`] can observe.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// The hash of the 21 words is folded once at construction and carried in
+/// the key, so the hot path never re-hashes: shard selection, assembly-lane
+/// selection and the shard `HashMap` (through [`IdentityHasher`]) all reuse
+/// the same precomputed value. The old scheme ran SipHash over all 21 words
+/// twice per lookup (once for the shard, once inside the map) — measurable
+/// at millions of requests per second.
+#[derive(Debug, Clone, Copy)]
 pub struct PredKey {
     bits: [u64; BI_DIM + 4],
+    hash: u64,
+}
+
+impl PartialEq for PredKey {
+    fn eq(&self, other: &Self) -> bool {
+        // Hash first: a one-word reject covers almost every mismatch.
+        self.hash == other.hash && self.bits == other.bits
+    }
+}
+
+impl Eq for PredKey {}
+
+impl Hash for PredKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.hash);
+    }
 }
 
 impl PredKey {
@@ -46,15 +79,48 @@ impl PredKey {
         bits[BI_DIM + 1] = raw.edges;
         bits[BI_DIM + 2] = raw.max_degree;
         bits[BI_DIM + 3] = raw.diameter;
-        PredKey { bits }
+        let hash = bits.iter().fold(0u64, |h, &w| fx_fold(h, w));
+        PredKey { bits, hash }
     }
 
+    /// The precomputed 64-bit hash of the key.
+    pub fn hash_value(&self) -> u64 {
+        self.hash
+    }
+
+    /// Cache-shard index: low hash bits.
     fn shard_index(&self, shards: usize) -> usize {
-        let mut h = DefaultHasher::new();
-        self.bits.hash(&mut h);
-        (h.finish() as usize) % shards
+        (self.hash as u32 as usize) % shards
+    }
+
+    /// Batch-assembly-lane index: high hash bits, so lane choice is
+    /// independent of shard choice (a hot shard does not imply a hot lane).
+    pub fn lane_index(&self, lanes: usize) -> usize {
+        ((self.hash >> 32) as usize) % lanes.max(1)
     }
 }
+
+/// Pass-through hasher for maps keyed by [`PredKey`]: the key already
+/// carries a strong precomputed hash, so the map hasher just forwards it.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct IdentityHasher(u64);
+
+impl Hasher for IdentityHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("IdentityHasher is only for u64-hashed keys");
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v;
+    }
+}
+
+/// `BuildHasher` for [`IdentityHasher`] maps.
+pub type IdentityState = BuildHasherDefault<IdentityHasher>;
 
 /// A cached prediction: the machine configuration plus how many predictor
 /// fallback steps produced it (carried into the attempt log on deploy).
@@ -79,7 +145,7 @@ pub enum InsertOutcome {
 
 #[derive(Debug, Default)]
 struct Shard {
-    map: HashMap<PredKey, Entry>,
+    map: HashMap<PredKey, Entry, IdentityState>,
     tick: u64,
 }
 
@@ -90,9 +156,13 @@ struct Entry {
 }
 
 /// The sharded LRU prediction cache.
+///
+/// Each shard (mutex + map + LRU tick) lives on its own cache line via
+/// [`CacheAligned`], so lock traffic on one shard never false-shares with a
+/// neighbor's.
 #[derive(Debug)]
 pub struct ShardedCache {
-    shards: Vec<Mutex<Shard>>,
+    shards: Vec<CacheAligned<Mutex<Shard>>>,
     shard_capacity: usize,
     generation: AtomicU64,
 }
@@ -104,7 +174,9 @@ impl ShardedCache {
         let shards = shards.max(1);
         ShardedCache {
             shard_capacity: (capacity / shards).max(1),
-            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            shards: (0..shards)
+                .map(|_| CacheAligned::new(Mutex::new(Shard::default())))
+                .collect(),
             generation: AtomicU64::new(0),
         }
     }

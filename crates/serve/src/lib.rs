@@ -55,9 +55,13 @@ pub mod cache;
 pub mod engine;
 pub mod instrument;
 pub mod metrics;
+pub mod mpsc;
+pub mod pad;
 
 pub use admission::{AdmissionConfig, AdmissionController, AdmittedLoopReport, Rejected};
 pub use cache::{CachedPrediction, InsertOutcome, PredKey, ShardedCache};
 pub use engine::{ClosedLoopReport, ServeConfig, ServeEngine, ServeMode, ServeSource, Served};
 pub use instrument::MeteredRunner;
 pub use metrics::{Counter, Histogram, MetricsRegistry, MetricsSnapshot, PeakGauge};
+pub use mpsc::SlotRing;
+pub use pad::CacheAligned;

@@ -16,7 +16,14 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// A monotonically increasing atomic counter.
+///
+/// Cache-line aligned: registry counters sit in adjacent fields and are
+/// bumped from every worker thread, so without padding two unrelated
+/// counters (say `cache_hits` and `gpu_placements`) would share a line and
+/// every increment would ping-pong it between cores — false sharing that
+/// showed up at 16 threads.
 #[derive(Debug, Default)]
+#[repr(align(64))]
 pub struct Counter(AtomicU64);
 
 impl Counter {
@@ -42,7 +49,9 @@ impl Counter {
 }
 
 /// A high-watermark gauge (records the maximum observed value).
+/// Cache-line aligned for the same reason as [`Counter`].
 #[derive(Debug, Default)]
+#[repr(align(64))]
 pub struct PeakGauge(AtomicU64);
 
 impl PeakGauge {
@@ -63,10 +72,14 @@ impl PeakGauge {
 }
 
 /// Upper bucket bounds for latency histograms, in milliseconds
-/// (0.1 µs … 5 s, roughly 1-2-5 per decade; one overflow bucket follows).
-const LATENCY_BOUNDS_MS: [f64; 24] = [
-    0.0001, 0.0002, 0.0005, 0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0,
-    10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0, 2000.0, 5000.0,
+/// (25 ns … 5 s; one overflow bucket follows). The sub-microsecond decades
+/// are deliberately dense: cached serves complete in a few hundred
+/// nanoseconds, and with the old 0.0005 → 0.001 jump every sub-µs request
+/// collapsed into the 1 µs bucket, so p50 read a flat 0.001 ms.
+const LATENCY_BOUNDS_MS: [f64; 31] = [
+    0.000025, 0.00005, 0.0001, 0.0002, 0.0003, 0.0005, 0.00075, 0.001, 0.0015, 0.002, 0.003, 0.005,
+    0.0075, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0,
+    1000.0, 2000.0, 5000.0,
 ];
 
 /// Upper bucket bounds for batch-size histograms.
@@ -125,6 +138,13 @@ impl Histogram {
             self.sum_scaled
                 .fetch_add((v * 1e6).round() as u64, Ordering::Relaxed);
         }
+    }
+
+    /// Records one sample given in integer nanoseconds — the serving path
+    /// measures `Instant::elapsed().as_nanos()` and records through this, so
+    /// sub-microsecond latencies keep their resolution end to end.
+    pub fn record_ns(&self, ns: u64) {
+        self.record(ns as f64 / 1e6);
     }
 
     /// Number of recorded samples.
@@ -568,7 +588,7 @@ mod tests {
         assert_eq!(h.quantile(1.0), 0.005);
         let h = Histogram::latency_ms();
         h.record(0.0050001);
-        assert_eq!(h.quantile(1.0), 0.01);
+        assert_eq!(h.quantile(1.0), 0.0075);
     }
 
     #[test]
@@ -601,8 +621,31 @@ mod tests {
         h.record(f64::NAN);
         assert_eq!(h.count(), 2);
         // Both land in the first bucket; they contribute nothing to the sum.
-        assert_eq!(h.quantile(1.0), 0.0001);
+        assert_eq!(h.quantile(1.0), 0.000025);
         assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn nanosecond_recording_resolves_sub_microsecond_quantiles() {
+        // The bench regression this fixes: sub-µs latencies must not all
+        // collapse into one bucket that reads 0.001 ms.
+        let h = Histogram::latency_ms();
+        for _ in 0..90 {
+            h.record_ns(180); // 0.00018 ms -> 0.0002 bucket
+        }
+        for _ in 0..10 {
+            h.record_ns(900); // 0.0009 ms -> 0.001 bucket
+        }
+        assert_eq!(h.quantile(0.50), 0.0002);
+        assert_eq!(h.quantile(0.99), 0.001);
+        let mean = h.mean();
+        assert!((mean - 0.000252).abs() < 1e-9, "{mean}");
+    }
+
+    #[test]
+    fn hot_atomics_are_cache_line_padded() {
+        assert!(std::mem::align_of::<Counter>() >= 64);
+        assert!(std::mem::align_of::<PeakGauge>() >= 64);
     }
 
     #[test]

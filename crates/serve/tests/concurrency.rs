@@ -34,10 +34,10 @@ fn mixed_requests(repeats: usize, salt: usize) -> Vec<(Workload, GraphStats)> {
         .collect()
 }
 
-/// A deep-NN HeteroMap, trained once per test binary and cloned into each
-/// engine through the model-persistence round trip (training dominates test
-/// time; deserialization is microseconds and bit-exact).
-fn deep_model() -> HeteroMap {
+/// The trained deep predictor, trained once per test binary and cloned out
+/// of the model-persistence round trip (training dominates test time;
+/// deserialization is microseconds and bit-exact).
+fn deep_nn() -> NeuralPredictor {
     static TRAINED: OnceLock<Vec<u8>> = OnceLock::new();
     let bytes = TRAINED.get_or_init(|| {
         // Small training run keeps the test fast; the NN still has real
@@ -58,7 +58,12 @@ fn deep_model() -> HeteroMap {
     let PersistedModel::Nn(nn) = read_model(bytes.as_slice()).expect("reload trained model") else {
         panic!("expected a neural model");
     };
-    HeteroMap::new(MultiAcceleratorSystem::primary(), Box::new(nn))
+    nn
+}
+
+/// A deep-NN HeteroMap over the shared trained predictor.
+fn deep_model() -> HeteroMap {
+    HeteroMap::new(MultiAcceleratorSystem::primary(), Box::new(deep_nn()))
 }
 
 fn deep_engine(mode: ServeMode) -> ServeEngine {
@@ -373,4 +378,92 @@ fn metrics_snapshot_reports_rates_distribution_and_latency() {
     assert!(json.contains("\"cache_hit_rate\""));
     assert!(json.contains("\"schedule_p99_ms\""));
     assert!(!json.contains("NaN"));
+}
+
+#[test]
+fn batched_serving_is_bit_identical_under_contention_with_racing_invalidation() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    // The tentpole invariant for the sharded batcher: 16 threads hammering
+    // the batched engine while another thread repeatedly invalidates the
+    // cache must still produce answers bit-identical to the single-threaded
+    // uncached baseline. Invalidation changes which path (miss/batch/hit)
+    // serves a request, never the answer — the model itself is untouched.
+    let requests = mixed_requests(2, 3);
+    let baseline = deep_engine(ServeMode::Uncached).serve_all(&requests, 1);
+
+    let engine = deep_engine(ServeMode::CachedBatched);
+    let done = AtomicBool::new(false);
+    let served = std::thread::scope(|scope| {
+        let invalidator = scope.spawn(|| {
+            let mut rounds = 0u32;
+            while !done.load(Ordering::Relaxed) {
+                engine.invalidate();
+                rounds += 1;
+                std::thread::yield_now();
+            }
+            rounds
+        });
+        let out = engine.serve_all(&requests, 16);
+        done.store(true, Ordering::Relaxed);
+        let rounds = invalidator.join().expect("invalidator panicked");
+        assert!(rounds >= 1, "invalidations actually raced the serving");
+        out
+    });
+
+    assert_eq!(served.len(), baseline.len());
+    for (s, b) in served.iter().zip(&baseline) {
+        assert_identical(s, b, "batched x16 vs uncached x1 under invalidation");
+    }
+    let snap = engine.metrics().snapshot();
+    assert_eq!(snap.requests, requests.len() as u64);
+}
+
+#[test]
+fn blocked_forward_is_bit_identical_to_scalar_reference_across_combo_sweep() {
+    // The optimized inference path (lane-unrolled dots, cache-blocked
+    // batched GEMM, flat activation arena) must agree bit-for-bit with the
+    // deliberately naive scalar reference on every (workload, dataset)
+    // combination — singly and batched.
+    let nn = deep_nn();
+    let model = deep_model();
+    let mut queries = Vec::new();
+    for &w in &Workload::all() {
+        for &d in &Dataset::all() {
+            let i = model.ivector(&d.stats());
+            queries.push((w.b_vector(), i));
+        }
+    }
+    assert_eq!(queries.len(), 81, "the full 81-combo sweep");
+
+    use heteromap_predict::Predictor;
+    let batched = nn.predict_batch(&queries);
+    for ((b, i), batch_cfg) in queries.iter().zip(&batched) {
+        let single = nn.predict(b, i);
+        let reference = nn.predict_reference(b, i);
+        for (k, (fast, slow)) in single
+            .as_array()
+            .iter()
+            .zip(reference.as_array().iter())
+            .enumerate()
+        {
+            assert_eq!(
+                fast.to_bits(),
+                slow.to_bits(),
+                "single vs reference, output {k}"
+            );
+        }
+        for (k, (fast, slow)) in batch_cfg
+            .as_array()
+            .iter()
+            .zip(reference.as_array().iter())
+            .enumerate()
+        {
+            assert_eq!(
+                fast.to_bits(),
+                slow.to_bits(),
+                "batched vs reference, output {k}"
+            );
+        }
+    }
 }

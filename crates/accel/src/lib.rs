@@ -31,11 +31,13 @@
 #![warn(missing_debug_implementations)]
 
 pub mod cost;
+pub mod device;
 pub mod fault;
 pub mod spec;
 pub mod system;
 
 pub use cost::{CostModel, SimBreakdown, SimReport, WorkloadContext};
+pub use device::{DeviceInstance, Occupancy};
 pub use fault::{DeployError, FaultPlan, FaultState};
 pub use spec::{AcceleratorKind, AcceleratorSpec};
 pub use system::MultiAcceleratorSystem;

@@ -200,6 +200,18 @@ impl AcceleratorSpec {
     pub fn idle_w(&self) -> f64 {
         self.tdp_w * 0.3
     }
+
+    /// The spec of this accelerator running on a surviving fraction of its
+    /// cores ([`FaultState::Degraded`](crate::fault::FaultState)): compute
+    /// resources scale down, the memory system stays intact.
+    pub fn degraded(&self, surviving_fraction: f64) -> AcceleratorSpec {
+        let f = surviving_fraction.clamp(1e-3, 1.0);
+        let mut spec = self.clone();
+        spec.cores = ((self.cores as f64 * f).round() as u32).max(1);
+        spec.sp_tflops = self.sp_tflops * f;
+        spec.dp_tflops = (self.dp_tflops * f).max(1e-3);
+        spec
+    }
 }
 
 impl fmt::Display for AcceleratorSpec {

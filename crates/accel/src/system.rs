@@ -213,7 +213,9 @@ impl MultiAcceleratorSystem {
         }
         let report = match state {
             FaultState::Degraded { .. } => {
-                let spec = degraded_spec(self.spec_for(accelerator), state.surviving_fraction());
+                let spec = self
+                    .spec_for(accelerator)
+                    .degraded(state.surviving_fraction());
                 self.model.evaluate_with_memory(&spec, ctx, cfg, mem_gb)
             }
             _ => self
@@ -240,17 +242,6 @@ impl MultiAcceleratorSystem {
         }
         Ok(report)
     }
-}
-
-/// The spec of an accelerator running on a surviving fraction of its cores:
-/// compute resources scale down, the memory system stays intact.
-fn degraded_spec(full: &AcceleratorSpec, surviving_fraction: f64) -> AcceleratorSpec {
-    let f = surviving_fraction.clamp(1e-3, 1.0);
-    let mut spec = full.clone();
-    spec.cores = ((full.cores as f64 * f).round() as u32).max(1);
-    spec.sp_tflops = full.sp_tflops * f;
-    spec.dp_tflops = (full.dp_tflops * f).max(1e-3);
-    spec
 }
 
 #[cfg(test)]

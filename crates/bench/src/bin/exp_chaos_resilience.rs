@@ -153,6 +153,12 @@ fn main() {
     json.push_str("  \"bench\": \"chaos_resilience\",\n");
     json.push_str(&format!("  \"smoke\": {smoke},\n"));
     json.push_str(&format!("  \"seed\": {SEED},\n"));
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    json.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
+    json.push_str(&format!(
+        "  \"trials\": {},\n",
+        thread_counts.len() + 1 // digest-checked runs per cell
+    ));
     json.push_str(&format!(
         "  \"rounds\": {}, \"requests_per_round\": {}, \"episode_len\": {},\n",
         probe.rounds, probe.requests_per_round, probe.episode_len

@@ -245,6 +245,8 @@ fn main() {
     json.push_str("  \"bench\": \"tune_quality\",\n");
     json.push_str(&format!("  \"combos\": {},\n", combos.len()));
     json.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
+    json.push_str("  \"trials\": 1,\n"); // fixed-seed cells are deterministic
+
     json.push_str("  \"gap_by_budget\": [\n");
     for (i, c) in cells.iter().enumerate() {
         json.push_str(&format!(

@@ -641,24 +641,12 @@ impl HeteroMap {
     /// so the predicted *absolute* concurrency lands on the surviving cores
     /// (the normalized values denormalize against the shrunken maxima).
     fn config_for_accelerator(&self, predicted: &MConfig, accelerator: Accelerator) -> MConfig {
-        let mut config = *predicted;
-        config.accelerator = accelerator;
         let frac = self
             .system
             .faults()
             .state_for(accelerator)
             .surviving_fraction();
-        if frac < 1.0 {
-            let wanted_cores = config.cores / frac;
-            config.cores = wanted_cores.min(1.0);
-            if wanted_cores > 1.0 {
-                // Core knob saturated: recover the remaining concurrency
-                // through threads per core.
-                config.threads_per_core = (config.threads_per_core * wanted_cores).min(1.0);
-            }
-            config.global_threads = (config.global_threads / frac).min(1.0);
-        }
-        config
+        crate::resilient::clamp_config_for(predicted, accelerator, frac)
     }
 }
 

@@ -53,5 +53,6 @@ pub use framework::HeteroMap;
 pub use online::stream_with;
 pub use report::{Placement, StreamReport};
 pub use resilient::{
-    AttemptLog, AttemptOutcome, AttemptRecord, DeployOptions, RetryPolicy, StaticDefault,
+    clamp_config_for, AttemptLog, AttemptOutcome, AttemptRecord, DeployOptions, RetryPolicy,
+    StaticDefault,
 };

@@ -374,6 +374,37 @@ impl AttemptLog {
     }
 }
 
+/// Re-clamps a predicted configuration for a (possibly degraded) target
+/// accelerator: `M1` is forced to `accelerator`, and when only
+/// `surviving_fraction` of its cores are usable the concurrency knobs are
+/// scaled up to recover the predicted parallelism on the surviving silicon
+/// (cores first, spilling into threads-per-core once the core knob
+/// saturates).
+///
+/// This is the migration path shared by the resilient deploy loop's
+/// failover and the fleet scheduler's re-placement of jobs off
+/// Degraded/Down devices.
+pub fn clamp_config_for(
+    predicted: &MConfig,
+    accelerator: Accelerator,
+    surviving_fraction: f64,
+) -> MConfig {
+    let mut config = *predicted;
+    config.accelerator = accelerator;
+    let frac = surviving_fraction.clamp(1e-3, 1.0);
+    if frac < 1.0 {
+        let wanted_cores = config.cores / frac;
+        config.cores = wanted_cores.min(1.0);
+        if wanted_cores > 1.0 {
+            // Core knob saturated: recover the remaining concurrency
+            // through threads per core.
+            config.threads_per_core = (config.threads_per_core * wanted_cores).min(1.0);
+        }
+        config.global_threads = (config.global_threads / frac).min(1.0);
+    }
+    config
+}
+
 /// Last resort of the predictor fallback chain: a fixed default
 /// configuration for one accelerator. Always feasible, never trained.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]

@@ -1,0 +1,107 @@
+//! The cluster under scheduling: N× each accelerator spec, one shared cost
+//! model.
+//!
+//! A [`Cluster`] is static identity — which devices exist and what hardware
+//! each one is. Mutable per-run state (health, queues, breakers) lives in
+//! the simulation so one cluster description can drive many runs.
+
+use heteromap_accel::{AcceleratorSpec, CostModel, DeviceInstance};
+
+/// A fixed set of accelerator instances driven by one cost model.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    devices: Vec<DeviceInstance>,
+    model: CostModel,
+}
+
+impl Cluster {
+    /// A cluster of `n_per_spec` instances of each of the paper's four
+    /// accelerators (Table II + §VI-A), each with its native memory.
+    /// Device ids interleave the specs (`750Ti, 970, Phi, CPU, 750Ti, ...`)
+    /// so round-robin placement alternates roles rather than saturating one
+    /// spec class first.
+    pub fn uniform(n_per_spec: usize) -> Self {
+        let specs = [
+            AcceleratorSpec::gtx_750ti(),
+            AcceleratorSpec::gtx_970(),
+            AcceleratorSpec::xeon_phi_7120p(),
+            AcceleratorSpec::cpu_40core(),
+        ];
+        let devices = (0..n_per_spec.max(1) * specs.len())
+            .map(|id| DeviceInstance::new(id, specs[id % specs.len()].clone()))
+            .collect();
+        Cluster {
+            devices,
+            model: CostModel::paper(),
+        }
+    }
+
+    /// A cluster over an explicit device list (ids must match positions).
+    pub fn new(devices: Vec<DeviceInstance>) -> Self {
+        assert!(!devices.is_empty(), "a cluster needs at least one device");
+        for (i, d) in devices.iter().enumerate() {
+            assert_eq!(d.id, i, "device ids must be their list positions");
+        }
+        Cluster {
+            devices,
+            model: CostModel::paper(),
+        }
+    }
+
+    /// Replaces the cost model (ablations).
+    pub fn with_model(mut self, model: CostModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// The devices, indexed by id.
+    pub fn devices(&self) -> &[DeviceInstance] {
+        &self.devices
+    }
+
+    /// Device count.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Whether the cluster is empty (never true — construction requires a
+    /// device).
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// The shared cost model.
+    pub fn model(&self) -> &CostModel {
+        &self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heteromap_model::Accelerator;
+
+    #[test]
+    fn uniform_interleaves_roles() {
+        let cluster = Cluster::uniform(2);
+        assert_eq!(cluster.len(), 8);
+        let roles: Vec<_> = cluster.devices().iter().map(|d| d.role()).collect();
+        assert_eq!(roles[0], Accelerator::Gpu);
+        assert_eq!(roles[2], Accelerator::Multicore);
+        assert_eq!(roles[4], Accelerator::Gpu);
+        assert_eq!(
+            roles.iter().filter(|&&r| r == Accelerator::Gpu).count(),
+            4,
+            "half the devices play the GPU role"
+        );
+        for (i, d) in cluster.devices().iter().enumerate() {
+            assert_eq!(d.id, i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "list positions")]
+    fn misnumbered_devices_are_rejected() {
+        let _ = Cluster::new(vec![DeviceInstance::new(3, AcceleratorSpec::gtx_970())]);
+    }
+}

@@ -82,7 +82,7 @@ impl Default for ServeConfig {
             shards: 16,
             capacity: 65_536,
             max_batch: 64,
-            lanes: 8,
+            lanes: default_lanes(),
             flop_ns: 1.0,
             hit_overhead_ms: 0.0,
         }
@@ -97,6 +97,22 @@ impl ServeConfig {
             ..ServeConfig::default()
         }
     }
+
+    /// Overrides the batch-assembly lane count (builder style). Any
+    /// positive count is valid — lane selection is a modulo over the key
+    /// hash — and results are lane-count-independent; the count only sets
+    /// how many concurrent misses can assemble batches without contending.
+    pub fn with_lanes(mut self, lanes: usize) -> Self {
+        self.lanes = lanes.max(1);
+        self
+    }
+}
+
+/// The default lane count: one per available hardware thread (clamped to
+/// `[1, 64]`), so batch assembly scales with the host without tuning. Falls
+/// back to 8 lanes when the host's parallelism cannot be queried.
+pub fn default_lanes() -> usize {
+    std::thread::available_parallelism().map_or(8, |n| n.get().clamp(1, 64))
 }
 
 /// Where one request's prediction came from.

@@ -60,7 +60,9 @@ pub mod pad;
 
 pub use admission::{AdmissionConfig, AdmissionController, AdmittedLoopReport, Rejected};
 pub use cache::{CachedPrediction, InsertOutcome, PredKey, ShardedCache};
-pub use engine::{ClosedLoopReport, ServeConfig, ServeEngine, ServeMode, ServeSource, Served};
+pub use engine::{
+    default_lanes, ClosedLoopReport, ServeConfig, ServeEngine, ServeMode, ServeSource, Served,
+};
 pub use instrument::MeteredRunner;
 pub use metrics::{Counter, Histogram, MetricsRegistry, MetricsSnapshot, PeakGauge};
 pub use mpsc::SlotRing;

@@ -114,6 +114,50 @@ fn all_modes_agree_across_thread_counts() {
 }
 
 #[test]
+fn lane_counts_never_change_answers() {
+    // The lane count shards batch assembly; it must never leak into
+    // results. Pin a few counts spanning one lane to more lanes than
+    // threads, and check each against the uncached single-thread baseline.
+    // Configs, energy and utilization must agree bit-for-bit; the base
+    // completion time is compared with a tolerance because the charged
+    // overhead differs per batch composition and `(base + o) - o` can
+    // legitimately differ in the last ulp.
+    let requests = mixed_requests(2, 2);
+    let baseline = deep_engine(ServeMode::Uncached).serve_all(&requests, 1);
+    assert!(heteromap_serve::default_lanes() >= 1);
+    for lanes in [1usize, 2, 8, 16] {
+        let engine = ServeEngine::new(
+            deep_model(),
+            ServeConfig::with_mode(ServeMode::CachedBatched).with_lanes(lanes),
+        );
+        for threads in [1usize, 4] {
+            let served = engine.serve_all(&requests, threads);
+            assert_eq!(served.len(), baseline.len());
+            for (s, b) in served.iter().zip(&baseline) {
+                let what = format!("{lanes} lanes x{threads}");
+                assert_eq!(s.placement.config, b.placement.config, "{what}: config");
+                assert_eq!(
+                    s.placement.report.energy_j.to_bits(),
+                    b.placement.report.energy_j.to_bits(),
+                    "{what}: energy"
+                );
+                assert_eq!(
+                    s.placement.report.utilization.to_bits(),
+                    b.placement.report.utilization.to_bits(),
+                    "{what}: utilization"
+                );
+                let s_base = s.placement.report.time_ms - s.placement.predictor_overhead_ms;
+                let b_base = b.placement.report.time_ms - b.placement.predictor_overhead_ms;
+                assert!(
+                    (s_base - b_base).abs() <= 1e-9 * b_base.abs().max(1.0),
+                    "{what}: base completion time {s_base} vs {b_base}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn zero_overhead_config_makes_placements_fully_bit_identical() {
     // With flop_ns = 0 every path charges zero overhead, so entire
     // placements — including time_ms — compare equal across modes.

@@ -25,6 +25,7 @@ pub mod bandit;
 pub mod coarse;
 pub mod ensemble;
 pub mod log;
+pub mod placement;
 pub mod technique;
 pub mod visited;
 
@@ -35,6 +36,7 @@ pub use ensemble::{
     TuneConfig, TuneOutcome,
 };
 pub use log::{EvalRecord, TuneLog, TuneLogError};
+pub use placement::{PlacementSpace, PLACEMENT_SLOTS};
 pub use technique::{
     Evolution, GridSweep, HillClimb, PatternSearch, RandomSearch, SearchState, Technique,
 };

@@ -1,0 +1,151 @@
+//! Placement search-space adapter: reusing the M-space ensemble to search
+//! job→device assignment vectors.
+//!
+//! The ensemble tuner ([`crate::EnsembleTuner`]) searches the 20-dimensional
+//! M-configuration space. A fleet scheduler wants to search a different
+//! space — *which device each pending job goes to* — with the same
+//! techniques (random, hill-climb, evolution, pattern search under the AUC
+//! bandit). This module bridges the two: a chunk of up to
+//! [`PLACEMENT_SLOTS`] jobs is encoded into the M-config's **continuous**
+//! dimensions, one job per dimension, and each dimension's unit value
+//! decodes to a device index.
+//!
+//! Only the continuous dimensions are used because
+//! [`MConfig::from_array`] quantizes the rest (the accelerator bit, the OMP
+//! schedule level and three boolean knobs) — a job slot mapped onto a
+//! quantized dimension could only ever name two or four devices. The 15
+//! continuous dimensions round-trip exactly, so hill-climb steps and
+//! evolutionary crossover in M-space translate into meaningful neighbor
+//! moves in placement space.
+
+use heteromap_model::{MConfig, M_DIM};
+
+/// Jobs one M-config individual can encode: the number of continuous
+/// dimensions in the M-space.
+pub const PLACEMENT_SLOTS: usize = 15;
+
+/// Indices of the continuous dimensions of [`MConfig::as_array`] — every
+/// dimension except the accelerator bit (0), the schedule level (10) and
+/// the boolean knobs (12, 15, 17), which quantize on decode.
+const CONTINUOUS_DIMS: [usize; PLACEMENT_SLOTS] =
+    [1, 2, 3, 4, 5, 6, 7, 8, 9, 11, 13, 14, 16, 18, 19];
+
+/// A placement search space: assignments of up to [`PLACEMENT_SLOTS`] jobs
+/// to one of `choices` devices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlacementSpace {
+    choices: usize,
+}
+
+impl PlacementSpace {
+    /// A space over `choices` devices (must be positive).
+    pub fn new(choices: usize) -> Self {
+        assert!(choices > 0, "a placement space needs at least one device");
+        PlacementSpace { choices }
+    }
+
+    /// Devices per slot.
+    pub fn choices(&self) -> usize {
+        self.choices
+    }
+
+    /// The raw unit values of the placement slots, in slot order. Callers
+    /// with per-slot candidate lists (e.g. breaker-filtered device subsets)
+    /// map each unit value themselves via [`PlacementSpace::index_in`].
+    pub fn unit_values(cfg: &MConfig) -> [f64; PLACEMENT_SLOTS] {
+        let array = cfg.as_array();
+        let mut units = [0.0; PLACEMENT_SLOTS];
+        for (slot, &dim) in CONTINUOUS_DIMS.iter().enumerate() {
+            units[slot] = array[dim].clamp(0.0, 1.0);
+        }
+        units
+    }
+
+    /// Maps one unit value to an index in `0..len` (uniform buckets).
+    pub fn index_in(unit: f64, len: usize) -> usize {
+        debug_assert!(len > 0);
+        ((unit.clamp(0.0, 1.0) * len as f64) as usize).min(len - 1)
+    }
+
+    /// Decodes an individual into one device index per slot.
+    pub fn decode(&self, cfg: &MConfig) -> [usize; PLACEMENT_SLOTS] {
+        let units = Self::unit_values(cfg);
+        let mut assignment = [0; PLACEMENT_SLOTS];
+        for (slot, &unit) in units.iter().enumerate() {
+            assignment[slot] = Self::index_in(unit, self.choices);
+        }
+        assignment
+    }
+
+    /// Encodes an assignment (≤ [`PLACEMENT_SLOTS`] device indices) as an
+    /// M-config individual, e.g. to evaluate an incumbent produced by a
+    /// different placer inside the same oracle. Each index lands on its
+    /// bucket's midpoint, so `decode(encode(a))` reproduces `a` exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment` exceeds [`PLACEMENT_SLOTS`] entries or names a
+    /// device outside the space.
+    pub fn encode(&self, assignment: &[usize]) -> MConfig {
+        assert!(
+            assignment.len() <= PLACEMENT_SLOTS,
+            "{} jobs exceed the {PLACEMENT_SLOTS}-slot individual",
+            assignment.len()
+        );
+        let mut array = [0.5; M_DIM];
+        for (slot, &device) in assignment.iter().enumerate() {
+            assert!(device < self.choices, "device {device} outside the space");
+            array[CONTINUOUS_DIMS[slot]] = (device as f64 + 0.5) / self.choices as f64;
+        }
+        MConfig::from_array(array)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let space = PlacementSpace::new(7);
+        let assignment = [0usize, 6, 3, 2, 5, 1, 4, 0, 6, 3, 3, 2, 1, 5, 4];
+        let decoded = space.decode(&space.encode(&assignment));
+        assert_eq!(decoded, assignment);
+    }
+
+    #[test]
+    fn short_assignments_encode_into_leading_slots() {
+        let space = PlacementSpace::new(4);
+        let decoded = space.decode(&space.encode(&[3, 0, 2]));
+        assert_eq!(&decoded[..3], &[3, 0, 2]);
+    }
+
+    #[test]
+    fn unit_values_survive_mconfig_quantization() {
+        // A full-precision individual round-trips its continuous dims even
+        // though from_array quantizes the accelerator/schedule/bool dims.
+        let mut array = [0.0; M_DIM];
+        for (i, x) in array.iter_mut().enumerate() {
+            *x = (i as f64 * 0.37) % 1.0;
+        }
+        let units = PlacementSpace::unit_values(&MConfig::from_array(array));
+        for (slot, &dim) in CONTINUOUS_DIMS.iter().enumerate() {
+            assert_eq!(units[slot], array[dim], "dim {dim}");
+        }
+    }
+
+    #[test]
+    fn index_in_covers_every_bucket_and_clamps() {
+        assert_eq!(PlacementSpace::index_in(0.0, 4), 0);
+        assert_eq!(PlacementSpace::index_in(0.26, 4), 1);
+        assert_eq!(PlacementSpace::index_in(0.99, 4), 3);
+        assert_eq!(PlacementSpace::index_in(1.0, 4), 3);
+        assert_eq!(PlacementSpace::index_in(-3.0, 4), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the space")]
+    fn encode_rejects_out_of_space_devices() {
+        let _ = PlacementSpace::new(2).encode(&[2]);
+    }
+}

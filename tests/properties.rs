@@ -195,6 +195,58 @@ proptest! {
     }
 }
 
+// Robustness: random fleet traces × fault intensities × thread counts — the
+// scheduler must never panic, never deadlock (returning at all is the
+// deadlock check), resolve every generated job exactly once, and stay
+// bit-reproducible across thread counts and reruns, for every placer.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn fleet_runs_resolve_every_job_at_any_thread_count(
+        seed in 0u64..10_000,
+        intensity in 0.0f64..=1.0,
+        rounds in 1u32..8,
+        episode_len in 1u32..5,
+        mean_arrivals in 0.5f64..6.0,
+        load in 0.3f64..1.3,
+        threads in 1usize..8,
+    ) {
+        // The vendored proptest stub has no enum strategy; pick by seed.
+        let placer = heteromap_fleet::Placer::ALL[(seed % 4) as usize];
+        let trace = heteromap_fleet::FleetTrace {
+            seed,
+            fault_intensity: intensity,
+            rounds,
+            episode_len,
+            mean_arrivals,
+            burst: 0.2,
+            load,
+            deadline_factor: 6.0,
+            max_migrations: 2,
+        };
+        let sim = heteromap_fleet::FleetSim::new(
+            trace,
+            heteromap_fleet::Cluster::uniform(1),
+            placer,
+        );
+        let report = sim.run(threads);
+        prop_assert!(report.fully_accounted(), "good {} late {} failed {} shed {} of {}",
+            report.good, report.late, report.failed, report.shed, report.jobs);
+        if !placer.is_predictor_driven() {
+            prop_assert_eq!(report.shed, 0);
+            prop_assert_eq!(report.breaker_opens, 0);
+        }
+        // Same trace, different worker count, bit-identical outcome.
+        let other = sim.run(threads % 4 + 1);
+        prop_assert_eq!(other.digest, report.digest);
+        prop_assert_eq!(
+            (other.good, other.late, other.failed, other.shed, other.migrations),
+            (report.good, report.late, report.failed, report.shed, report.migrations)
+        );
+    }
+}
+
 // Robustness: the readers must reject, never panic on, arbitrary bytes.
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]

@@ -190,6 +190,9 @@ impl MultiAcceleratorSystem {
             heteromap_obs::event("fault.down", || {
                 format!("accelerator={accelerator:?} attempt={attempt} cause=planned_outage")
             });
+            if heteromap_obs::metrics_enabled() {
+                record_fault_metric("down");
+            }
             return Err(DeployError::AcceleratorDown { accelerator });
         }
         let mem_gb = self.memory_gb(accelerator);
@@ -204,6 +207,9 @@ impl MultiAcceleratorSystem {
                          cause=streaming_disabled"
                     )
                 });
+                if heteromap_obs::metrics_enabled() {
+                    record_fault_metric("oom");
+                }
                 return Err(DeployError::OutOfMemory {
                     accelerator,
                     footprint_bytes,
@@ -234,6 +240,9 @@ impl MultiAcceleratorSystem {
                     frac * report.time_ms
                 )
             });
+            if heteromap_obs::metrics_enabled() {
+                record_fault_metric("transient");
+            }
             return Err(DeployError::TransientFailure {
                 accelerator,
                 attempt,
@@ -242,6 +251,31 @@ impl MultiAcceleratorSystem {
         }
         Ok(report)
     }
+}
+
+/// Counts one injected fault episode on the global metrics hub
+/// (`accel_faults_total{kind=down|oom|transient}`). Callers gate on
+/// [`heteromap_obs::metrics_enabled`] so the fault-free deploy path never
+/// reaches this; the handle is resolved once per kind.
+#[cold]
+fn record_fault_metric(kind: &'static str) {
+    use std::sync::{Arc, OnceLock};
+    static DOWN: OnceLock<Arc<heteromap_obs::metrics::Counter>> = OnceLock::new();
+    static OOM: OnceLock<Arc<heteromap_obs::metrics::Counter>> = OnceLock::new();
+    static TRANSIENT: OnceLock<Arc<heteromap_obs::metrics::Counter>> = OnceLock::new();
+    let cell = match kind {
+        "down" => &DOWN,
+        "oom" => &OOM,
+        _ => &TRANSIENT,
+    };
+    cell.get_or_init(|| {
+        heteromap_obs::metrics::global().counter(
+            "accel_faults_total",
+            &[("kind", kind)],
+            "Injected fault-plan episodes surfaced to the deploy loop",
+        )
+    })
+    .inc();
 }
 
 #[cfg(test)]

@@ -183,8 +183,13 @@ fn main() {
     let mut json = String::from("{\n");
     json.push_str("  \"bench\": \"obs_overhead\",\n");
     json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str(&format!(
+        "  \"host_cpus\": {},\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    ));
     json.push_str(&format!("  \"combinations\": {},\n", combos.len()));
     json.push_str(&format!("  \"reps\": {reps},\n"));
+    json.push_str(&format!("  \"trials\": {reps},\n"));
     json.push_str(&format!("  \"sweeps_per_rep\": {inner},\n"));
     json.push_str(&format!("  \"baseline_ms\": {},\n", num(baseline_ms)));
     json.push_str(&format!("  \"disabled_ms\": {},\n", num(disabled_ms)));

@@ -32,4 +32,4 @@ pub mod plan;
 pub mod runner;
 
 pub use plan::{ChaosEvent, ChaosPlan, DATASETS, WORKLOADS};
-pub use runner::{ChaosReport, ChaosRunner};
+pub use runner::{ChaosReport, ChaosRunner, ChaosTelemetry};

@@ -22,10 +22,14 @@
 //! config)` through one hasher, so two runs agree on the digest iff they
 //! agreed on every single request.
 
-use crate::plan::{ChaosPlan, DATASETS, WORKLOADS};
+use crate::plan::{ChaosEvent, ChaosPlan, DATASETS, WORKLOADS};
 use heteromap::{AttemptOutcome, BreakerBoard, BreakerConfig, DeployOptions, HeteroMap};
 use heteromap_accel::cost::WorkloadContext;
 use heteromap_model::Accelerator;
+use heteromap_obs::metrics::{
+    DriftConfig, HealthBoard, HealthSignal, MetricsHub, SeriesDetector, SignalKind,
+    LATENCY_BOUNDS_MS,
+};
 use heteromap_serve::{ServeConfig, ServeEngine, ServeMode, Served};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -90,6 +94,88 @@ impl ChaosReport {
     /// Whether every driven request resolved to exactly one bucket.
     pub fn fully_accounted(&self) -> bool {
         self.good + self.late + self.failed + self.shed == self.requests
+    }
+}
+
+/// Per-round tally handed to the telemetry observer by
+/// [`ChaosRunner::run_observed`]. Built inside the serial fold, so its
+/// contents are independent of worker count.
+struct RoundStats<'a> {
+    /// Requests driven this round.
+    n: usize,
+    good: usize,
+    late: usize,
+    failed: usize,
+    shed: usize,
+    /// Requests that needed more than one deploy attempt.
+    multi_attempt: usize,
+    /// Attempts beyond the first, summed over the round's requests.
+    extra_attempts: usize,
+    /// Σ max(0, time/reference − 1) over resolved finite-time requests —
+    /// exactly 0.0 on a fault-free round (every natural placement is no
+    /// slower than its worst-leg reference).
+    overdraft_sum: f64,
+    /// Finite completion times of this round's resolved requests.
+    times: &'a [f64],
+    /// Cumulative breaker trips/recoveries through this round.
+    breaker_opens: u64,
+    breaker_closes: u64,
+}
+
+/// Telemetry captured by [`ChaosRunner::run_telemetry`]: the ordinary
+/// [`ChaosReport`] (digest included, bit-identical to [`ChaosRunner::run`])
+/// plus a private metrics hub with one aggregation window per round and the
+/// drift detectors' verdicts.
+#[derive(Debug)]
+pub struct ChaosTelemetry {
+    /// The run's report — same digest as an unobserved run of the plan.
+    pub report: ChaosReport,
+    /// Episodes flagged by either drift detector, ascending.
+    pub flagged_episodes: Vec<u32>,
+    /// Episodes whose planned event is not [`ChaosEvent::Calm`], ascending
+    /// (ground truth for coverage checks).
+    pub faulty_episodes: Vec<u32>,
+    /// Raised/recovered health signals in raise order.
+    pub signals: Vec<HealthSignal>,
+    hub: MetricsHub,
+}
+
+impl ChaosTelemetry {
+    /// Fraction of planned faulty episodes the detectors flagged
+    /// (`NaN` when the plan had none).
+    pub fn coverage(&self) -> f64 {
+        if self.faulty_episodes.is_empty() {
+            return f64::NAN;
+        }
+        let hits = self
+            .flagged_episodes
+            .iter()
+            .filter(|e| self.faulty_episodes.binary_search(e).is_ok())
+            .count();
+        hits as f64 / self.faulty_episodes.len() as f64
+    }
+
+    /// Flagged episodes whose planned event was calm. Under a faulty plan
+    /// these are not necessarily detector errors — breaker recovery from a
+    /// preceding incident legitimately degrades trailing calm episodes —
+    /// so the zero-false-positive gate is evaluated on a calm-regime run
+    /// (intensity 0), where this must be empty.
+    pub fn calm_episodes_flagged(&self) -> Vec<u32> {
+        self.flagged_episodes
+            .iter()
+            .copied()
+            .filter(|e| self.faulty_episodes.binary_search(e).is_err())
+            .collect()
+    }
+
+    /// The run's metrics hub (one rolled window per round).
+    pub fn hub(&self) -> &MetricsHub {
+        &self.hub
+    }
+
+    /// Prometheus text exposition of the run's metrics.
+    pub fn prometheus_text(&self) -> String {
+        self.hub.prometheus_text()
     }
 }
 
@@ -173,6 +259,19 @@ impl ChaosRunner {
     /// The digest (and every count) is a pure function of the plan — rerun
     /// with any thread count and it must match bit for bit.
     pub fn run(&self, threads: usize) -> ChaosReport {
+        self.run_observed(threads, |_, _| {})
+    }
+
+    /// [`ChaosRunner::run`] with a per-round observer. The observer fires
+    /// from the serial fold after each round's breaker/digest bookkeeping,
+    /// so anything it records is deterministic at any worker count — and
+    /// because it is passive, the returned report (digest included) is
+    /// bit-identical to an unobserved run.
+    fn run_observed<F: for<'a> FnMut(u32, &RoundStats<'a>)>(
+        &self,
+        threads: usize,
+        mut observe: F,
+    ) -> ChaosReport {
         let threads = threads.max(1);
         let mut board = BreakerBoard::new(self.breaker);
         let mut digest: u64 = self.plan.seed ^ 0x5EED_C4A0_5B01_7E55;
@@ -217,10 +316,31 @@ impl ChaosRunner {
                         &[u64::from(round), slot as u64, Resolution::Shed.tag()],
                     );
                 }
+                observe(
+                    round,
+                    &RoundStats {
+                        n,
+                        good: 0,
+                        late: 0,
+                        failed: 0,
+                        shed: n,
+                        multi_attempt: 0,
+                        extra_attempts: 0,
+                        overdraft_sum: 0.0,
+                        times: &[],
+                        breaker_opens: board.total_opens(),
+                        breaker_closes: board.total_closes(),
+                    },
+                );
                 continue;
             }
 
             let outcomes = self.evaluate_round(round, n, avoid, threads);
+            let round_times_start = times.len();
+            let (mut good, mut late, mut failed) = (0usize, 0usize, 0usize);
+            let mut multi_attempt = 0usize;
+            let mut extra_attempts = 0usize;
+            let mut overdraft_sum = 0.0f64;
             // Serial fold in slot order: breaker evolution and the digest
             // are independent of which worker computed which slot.
             for (slot, deadline, served) in &outcomes {
@@ -248,13 +368,25 @@ impl ChaosRunner {
                     Resolution::Failed
                 };
                 match resolution {
-                    Resolution::Good => report.good += 1,
-                    Resolution::Late => report.late += 1,
-                    Resolution::Failed => report.failed += 1,
+                    Resolution::Good => good += 1,
+                    Resolution::Late => late += 1,
+                    Resolution::Failed => failed += 1,
                     Resolution::Shed => unreachable!("sheds never reach evaluation"),
+                }
+                let attempts = served.placement.attempts.total_attempts();
+                if attempts > 1 {
+                    multi_attempt += 1;
+                    extra_attempts += attempts - 1;
                 }
                 if time_ms.is_finite() {
                     times.push(time_ms);
+                    // Overdraft against the worst-leg fault-free reference
+                    // (deadline = factor × reference): exactly 0 when the
+                    // run is no slower than a healthy worst-leg deploy.
+                    let reference = *deadline / self.plan.deadline_factor;
+                    if reference.is_finite() && reference > 0.0 {
+                        overdraft_sum += (time_ms / reference - 1.0).max(0.0);
+                    }
                 }
                 let mut parts = vec![
                     u64::from(round),
@@ -273,6 +405,25 @@ impl ChaosRunner {
                 );
                 digest = fold(digest, &parts);
             }
+            report.good += good;
+            report.late += late;
+            report.failed += failed;
+            observe(
+                round,
+                &RoundStats {
+                    n,
+                    good,
+                    late,
+                    failed,
+                    shed: 0,
+                    multi_attempt,
+                    extra_attempts,
+                    overdraft_sum,
+                    times: &times[round_times_start..],
+                    breaker_opens: board.total_opens(),
+                    breaker_closes: board.total_closes(),
+                },
+            );
         }
 
         times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
@@ -286,6 +437,136 @@ impl ChaosRunner {
         report.breaker_closes = board.total_closes();
         report.digest = digest;
         report
+    }
+
+    /// Executes the plan with live telemetry: a private [`MetricsHub`]
+    /// aggregates per-round counters/histograms (one rolled window per
+    /// round), and two drift detectors watch the rounds — one over the
+    /// latency-overdraft series, one over the bad-outcome fraction. Both
+    /// series are exactly `0.0` on fault-free rounds, so the calm regime
+    /// can never false-positive; detectors re-arm at episode boundaries so
+    /// an early incident cannot mask a later one.
+    ///
+    /// The observer runs in the serial fold, so everything here — the
+    /// hub's contents, the flagged set, and the embedded report's digest —
+    /// is bit-identical at any `threads`.
+    pub fn run_telemetry(&self, threads: usize) -> ChaosTelemetry {
+        let hub = MetricsHub::new();
+        let outcome = |o: &'static str| {
+            hub.counter(
+                "chaos_requests_total",
+                &[("outcome", o)],
+                "Chaos requests by resolution bucket",
+            )
+        };
+        let good_c = outcome("good");
+        let late_c = outcome("late");
+        let failed_c = outcome("failed");
+        let shed_c = outcome("shed");
+        let extra_attempts_c = hub.counter(
+            "chaos_extra_attempts_total",
+            &[],
+            "Deploy attempts beyond the first (retries + failovers)",
+        );
+        let completion_h = hub.histogram(
+            "chaos_completion_ms",
+            &[],
+            "Simulated completion time of resolved chaos requests",
+            &LATENCY_BOUNDS_MS,
+        );
+        let opens_g = hub.gauge(
+            "chaos_breaker_opens",
+            &[],
+            "Cumulative circuit-breaker trips",
+        );
+        let closes_g = hub.gauge(
+            "chaos_breaker_closes",
+            &[],
+            "Cumulative circuit-breaker recoveries",
+        );
+        let latency_g = hub.gauge(
+            "chaos_latency_overdraft",
+            &[],
+            "Mean per-request overdraft vs. the fault-free reference",
+        );
+        let outcome_g = hub.gauge(
+            "chaos_outcome_anomaly",
+            &[],
+            "Fraction of requests late, failed, shed, or retried",
+        );
+
+        // Both series sit at exactly 0.0 when healthy, so arm the EWMA
+        // baseline at 0 and flag any excursion past the minimum band.
+        let detector_cfg = DriftConfig {
+            min_band: 0.02,
+            baseline: Some(0.0),
+            ..DriftConfig::upward()
+        };
+        let mut latency_det = SeriesDetector::new(detector_cfg);
+        let mut outcome_det = SeriesDetector::new(detector_cfg);
+        let episode_len = self.plan.episode_len.max(1);
+        let mut board = HealthBoard::new(u64::from(episode_len));
+        let mut flagged = std::collections::BTreeSet::new();
+
+        let report = self.run_observed(threads, |round, stats| {
+            if round % episode_len == 0 {
+                latency_det.reset();
+                outcome_det.reset();
+            }
+            good_c.add(stats.good as u64);
+            late_c.add(stats.late as u64);
+            failed_c.add(stats.failed as u64);
+            shed_c.add(stats.shed as u64);
+            extra_attempts_c.add(stats.extra_attempts as u64);
+            for &t in stats.times {
+                completion_h.record(t);
+            }
+            opens_g.set(stats.breaker_opens as f64);
+            closes_g.set(stats.breaker_closes as f64);
+
+            let n = stats.n.max(1) as f64;
+            let latency_score = stats.overdraft_sum / n;
+            let outcome_score =
+                (stats.late + stats.failed + stats.shed + stats.multi_attempt) as f64 / n;
+            latency_g.set(latency_score);
+            outcome_g.set(outcome_score);
+            let window = hub.roll();
+
+            let episode = round / episode_len;
+            let lat = latency_det.observe(latency_score);
+            if lat.drift {
+                board.raise(
+                    "chaos/latency",
+                    SignalKind::LatencyInflation,
+                    window,
+                    lat.score,
+                );
+                flagged.insert(episode);
+            }
+            let out = outcome_det.observe(outcome_score);
+            if out.drift {
+                board.raise(
+                    "chaos/outcomes",
+                    SignalKind::OutcomeAnomaly,
+                    window,
+                    out.score,
+                );
+                flagged.insert(episode);
+            }
+            board.expire(window);
+        });
+
+        let episodes = self.plan.rounds.div_ceil(episode_len);
+        let faulty_episodes: Vec<u32> = (0..episodes)
+            .filter(|&e| self.plan.event_for_episode(e) != ChaosEvent::Calm)
+            .collect();
+        ChaosTelemetry {
+            report,
+            flagged_episodes: flagged.into_iter().collect(),
+            faulty_episodes,
+            signals: board.signals().to_vec(),
+            hub,
+        }
     }
 
     /// Evaluates one round's slots across workers; slots are pure given the
@@ -386,6 +667,78 @@ mod tests {
         let a = ChaosRunner::new(ChaosPlan::smoke(1, 0.5), true).run(2);
         let b = ChaosRunner::new(ChaosPlan::smoke(2, 0.5), true).run(2);
         assert_ne!(a.digest, b.digest);
+    }
+
+    #[test]
+    fn telemetry_preserves_the_digest_and_is_thread_count_independent() {
+        let runner = ChaosRunner::new(ChaosPlan::smoke(42, 0.5), true);
+        let plain = runner.run(2);
+        let t1 = runner.run_telemetry(1);
+        let t4 = runner.run_telemetry(4);
+        assert_eq!(t1.report.digest, plain.digest, "observer must be passive");
+        assert_eq!(t1.report.digest, t4.report.digest);
+        assert_eq!(t1.flagged_episodes, t4.flagged_episodes);
+        assert_eq!(t1.signals, t4.signals);
+        assert_eq!(t1.prometheus_text(), t4.prometheus_text());
+        assert_eq!(
+            t1.hub().window_index(),
+            u64::from(runner.plan().rounds),
+            "one rolled window per round"
+        );
+    }
+
+    #[test]
+    fn calm_regime_raises_no_signals() {
+        let telemetry = ChaosRunner::new(ChaosPlan::smoke(7, 0.0), true).run_telemetry(2);
+        assert!(telemetry.flagged_episodes.is_empty());
+        assert!(telemetry.faulty_episodes.is_empty());
+        assert!(telemetry.signals.is_empty());
+        assert_eq!(telemetry.report.good, telemetry.report.requests);
+    }
+
+    #[test]
+    fn chaotic_run_flags_its_faulty_episodes() {
+        let telemetry = ChaosRunner::new(ChaosPlan::smoke(42, 0.7), true).run_telemetry(2);
+        assert!(
+            !telemetry.faulty_episodes.is_empty(),
+            "plan must inject faults"
+        );
+        let coverage = telemetry.coverage();
+        assert!(
+            coverage >= 0.99,
+            "detectors missed faulty episodes: coverage {coverage:.2}, \
+             flagged {:?} of {:?}",
+            telemetry.flagged_episodes,
+            telemetry.faulty_episodes
+        );
+        assert!(telemetry
+            .signals
+            .iter()
+            .any(|s| s.kind != SignalKind::Recovered));
+    }
+
+    #[test]
+    fn telemetry_counters_reconcile_with_the_report() {
+        use heteromap_obs::metrics::SeriesValue;
+        let telemetry = ChaosRunner::new(ChaosPlan::smoke(11, 0.5), true).run_telemetry(2);
+        let count = |outcome: &str| {
+            telemetry
+                .hub()
+                .snapshot()
+                .into_iter()
+                .find(|s| {
+                    s.name == "chaos_requests_total" && s.labels.iter().any(|(_, v)| v == outcome)
+                })
+                .map(|s| match s.value {
+                    SeriesValue::Counter(v) => v as usize,
+                    other => panic!("not a counter: {other:?}"),
+                })
+                .unwrap_or(0)
+        };
+        assert_eq!(count("good"), telemetry.report.good);
+        assert_eq!(count("late"), telemetry.report.late);
+        assert_eq!(count("failed"), telemetry.report.failed);
+        assert_eq!(count("shed"), telemetry.report.shed);
     }
 
     #[test]

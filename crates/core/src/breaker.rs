@@ -135,6 +135,9 @@ impl CircuitBreaker {
                     heteromap_obs::event("breaker.close", || {
                         format!("accelerator={accelerator:?} cause=probe_successes")
                     });
+                    if heteromap_obs::metrics_enabled() {
+                        crate::telemetry::record_breaker_transition("closed");
+                    }
                 }
             }
             (BreakerState::HalfOpen, false) => self.trip("probe_failure"),
@@ -161,6 +164,9 @@ impl CircuitBreaker {
                     self.sheds_since_open
                 )
             });
+            if heteromap_obs::metrics_enabled() {
+                crate::telemetry::record_breaker_transition("half_open");
+            }
         }
     }
 
@@ -174,6 +180,9 @@ impl CircuitBreaker {
         heteromap_obs::event("breaker.open", || {
             format!("accelerator={accelerator:?} cause={cause} consecutive_failures={failures}")
         });
+        if heteromap_obs::metrics_enabled() {
+            crate::telemetry::record_breaker_transition("open");
+        }
     }
 }
 

@@ -274,7 +274,7 @@ impl HeteroMap {
         predictor_fallbacks: u32,
         opts: DeployOptions,
     ) -> Placement {
-        if self.system.faults().is_all_healthy()
+        let placement = if self.system.faults().is_all_healthy()
             && self.retry.attempt_timeout_ms.is_infinite()
             && opts.is_unconstrained()
         {
@@ -283,14 +283,21 @@ impl HeteroMap {
             report.time_ms += overhead_ms;
             let mut attempts = AttemptLog::clean_success(config.accelerator);
             attempts.predictor_fallbacks = predictor_fallbacks;
-            return Placement {
+            Placement {
                 config,
                 report,
                 predictor_overhead_ms: overhead_ms,
                 attempts,
-            };
+            }
+        } else {
+            self.schedule_resilient(ctx, config, overhead_ms, predictor_fallbacks, opts)
+        };
+        // Every deploy path (direct, traced, resilient, serving) funnels
+        // through here, so one gated fold covers the whole retry loop.
+        if heteromap_obs::metrics_enabled() {
+            crate::telemetry::record_placement(&placement);
         }
-        self.schedule_resilient(ctx, config, overhead_ms, predictor_fallbacks, opts)
+        placement
     }
 
     /// Predictor fallback chain (Fig. 8 step 2 in isolation): the

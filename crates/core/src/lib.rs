@@ -47,6 +47,7 @@ pub mod framework;
 pub mod online;
 pub mod report;
 pub mod resilient;
+mod telemetry;
 
 pub use breaker::{BreakerBoard, BreakerConfig, BreakerState, CircuitBreaker};
 pub use framework::HeteroMap;

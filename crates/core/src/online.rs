@@ -70,6 +70,9 @@ fn stream_into<F>(
                     depth + 1
                 )
             });
+            if heteromap_obs::metrics_enabled() {
+                crate::telemetry::record_restream();
+            }
             stream_into(
                 &chunk.graph,
                 chunk_byte_budget / 2,

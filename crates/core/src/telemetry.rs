@@ -1,0 +1,252 @@
+//! Gated metric recording for the scheduling core.
+//!
+//! Every public entry point here follows the crate's traced-twin cost
+//! model: callers check [`heteromap_obs::metrics_enabled`] (one relaxed
+//! load) on the hot path and only then jump into a `#[cold]` recorder
+//! that touches the global [`heteromap_obs::MetricsHub`]. Series handles
+//! are resolved once through a `OnceLock`, so steady-state recording is
+//! a handful of sharded `fetch_add`s — no registry lock, no allocation.
+
+use crate::report::Placement;
+use crate::resilient::AttemptOutcome;
+use heteromap_model::Accelerator;
+use heteromap_obs::metrics::{global, Counter, Histogram, LATENCY_BOUNDS_MS};
+use std::sync::{Arc, OnceLock};
+
+/// Series handles for the deploy/retry loop, registered lazily on the
+/// global hub the first time metrics are enabled and a schedule runs.
+struct CoreMetrics {
+    placements_gpu: Arc<Counter>,
+    placements_multicore: Arc<Counter>,
+    incomplete: Arc<Counter>,
+    failovers: Arc<Counter>,
+    predictor_fallbacks: Arc<Counter>,
+    degraded_deploys: Arc<Counter>,
+    outcome_transient: Arc<Counter>,
+    outcome_down: Arc<Counter>,
+    outcome_oom: Arc<Counter>,
+    outcome_timeout: Arc<Counter>,
+    outcome_deadline: Arc<Counter>,
+    completion_ms: Arc<Histogram>,
+    retry_charged_ms: Arc<Histogram>,
+}
+
+fn core_metrics() -> &'static CoreMetrics {
+    static METRICS: OnceLock<CoreMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let hub = global();
+        let outcome = |o: &'static str| {
+            hub.counter(
+                "core_attempt_failures_total",
+                &[("outcome", o)],
+                "Failed deploy attempts by outcome kind",
+            )
+        };
+        let placements = |a: &'static str| {
+            hub.counter(
+                "core_placements_total",
+                &[("accelerator", a)],
+                "Completed placements by chosen accelerator",
+            )
+        };
+        CoreMetrics {
+            placements_gpu: placements("gpu"),
+            placements_multicore: placements("multicore"),
+            incomplete: hub.counter(
+                "core_placements_incomplete_total",
+                &[],
+                "Placements that exhausted every accelerator or deadline",
+            ),
+            failovers: hub.counter(
+                "core_failovers_total",
+                &[],
+                "Cross-accelerator failovers taken by the retry loop",
+            ),
+            predictor_fallbacks: hub.counter(
+                "core_predictor_fallbacks_total",
+                &[],
+                "Predictor fallback steps (infeasible predictions rescued)",
+            ),
+            degraded_deploys: hub.counter(
+                "core_degraded_deploys_total",
+                &[],
+                "Successful deploys on degraded silicon",
+            ),
+            outcome_transient: outcome("transient"),
+            outcome_down: outcome("down"),
+            outcome_oom: outcome("oom"),
+            outcome_timeout: outcome("timeout"),
+            outcome_deadline: outcome("deadline"),
+            completion_ms: hub.histogram(
+                "core_completion_ms",
+                &[],
+                "Simulated completion time of completed placements",
+                &LATENCY_BOUNDS_MS,
+            ),
+            retry_charged_ms: hub.histogram(
+                "core_retry_charged_ms",
+                &[],
+                "Simulated retry/backoff cost charged into completion times",
+                &LATENCY_BOUNDS_MS,
+            ),
+        }
+    })
+}
+
+/// Folds one finished [`Placement`] into the global hub. The attempt log
+/// already encodes every retry-loop event (outcomes, failovers,
+/// fallbacks), so a single post-hoc fold here keeps the resilient loop
+/// itself free of per-site gating.
+#[cold]
+pub(crate) fn record_placement(placement: &Placement) {
+    let m = core_metrics();
+    match placement.accelerator() {
+        Accelerator::Gpu => m.placements_gpu.inc(),
+        Accelerator::Multicore => m.placements_multicore.inc(),
+    }
+    if placement.completed() {
+        m.completion_ms.record(placement.report.time_ms);
+    } else {
+        m.incomplete.inc();
+    }
+    let log = &placement.attempts;
+    m.failovers.add(u64::from(log.failovers));
+    m.predictor_fallbacks
+        .add(u64::from(log.predictor_fallbacks));
+    m.degraded_deploys.add(u64::from(log.degraded_deploys));
+    if log.retry_time_ms > 0.0 {
+        m.retry_charged_ms.record(log.retry_time_ms);
+    }
+    for record in &log.records {
+        match record.outcome {
+            AttemptOutcome::Success => {}
+            AttemptOutcome::TransientFailure { .. } => m.outcome_transient.inc(),
+            AttemptOutcome::AcceleratorDown => m.outcome_down.inc(),
+            AttemptOutcome::OutOfMemory { .. } => m.outcome_oom.inc(),
+            AttemptOutcome::Timeout { .. } => m.outcome_timeout.inc(),
+            AttemptOutcome::DeadlineExceeded { .. } => m.outcome_deadline.inc(),
+        }
+    }
+}
+
+/// Counts one circuit-breaker state transition (`to` ∈ `open`,
+/// `half_open`, `closed`).
+#[cold]
+pub(crate) fn record_breaker_transition(to: &'static str) {
+    static OPEN: OnceLock<Arc<Counter>> = OnceLock::new();
+    static HALF_OPEN: OnceLock<Arc<Counter>> = OnceLock::new();
+    static CLOSED: OnceLock<Arc<Counter>> = OnceLock::new();
+    let cell = match to {
+        "open" => &OPEN,
+        "half_open" => &HALF_OPEN,
+        _ => &CLOSED,
+    };
+    cell.get_or_init(|| {
+        global().counter(
+            "core_breaker_transitions_total",
+            &[("to", to)],
+            "Circuit-breaker state transitions by destination state",
+        )
+    })
+    .inc();
+}
+
+/// Counts one stream restream (cached plan invalidated by drift in the
+/// online chunk statistics).
+#[cold]
+pub(crate) fn record_restream() {
+    static RESTREAMS: OnceLock<Arc<Counter>> = OnceLock::new();
+    RESTREAMS
+        .get_or_init(|| {
+            global().counter(
+                "core_stream_restreams_total",
+                &[],
+                "Online-scheduling plan invalidations (restreams)",
+            )
+        })
+        .inc();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HeteroMap;
+    use heteromap_graph::datasets::Dataset;
+    use heteromap_model::Workload;
+    use heteromap_obs::metrics::SeriesValue;
+
+    /// Serializes tests that flip the process-wide metrics gate.
+    fn gate_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn counter_value(name: &str, labels: &[(&str, &str)]) -> u64 {
+        global()
+            .snapshot()
+            .into_iter()
+            .find(|s| {
+                s.name == name
+                    && s.labels.len() == labels.len()
+                    && s.labels
+                        .iter()
+                        .zip(labels)
+                        .all(|(have, want)| have.0 == want.0 && have.1 == want.1)
+            })
+            .map(|s| match s.value {
+                SeriesValue::Counter(v) => v,
+                other => panic!("{name} is not a counter: {other:?}"),
+            })
+            .unwrap_or(0)
+    }
+
+    /// A clean schedule with metrics enabled lands exactly one placement
+    /// counter increment and no failure outcomes.
+    #[test]
+    fn clean_schedule_counts_one_placement() {
+        let _guard = gate_lock();
+        heteromap_obs::set_metrics_enabled(true);
+        let before = counter_value("core_placements_total", &[("accelerator", "gpu")]);
+        let hm = HeteroMap::with_decision_tree();
+        let p = hm.schedule(Workload::SsspBf, Dataset::UsaCal);
+        assert!(p.completed());
+        let after = counter_value("core_placements_total", &[("accelerator", "gpu")]);
+        assert!(
+            after > before,
+            "placement counter must move: {before} -> {after}"
+        );
+        heteromap_obs::set_metrics_enabled(false);
+    }
+
+    /// A forced failover is visible in the failover and outcome counters.
+    #[test]
+    fn failover_counts_outcomes() {
+        use heteromap_accel::{FaultPlan, MultiAcceleratorSystem};
+        use heteromap_predict::DecisionTree;
+        let _guard = gate_lock();
+        heteromap_obs::set_metrics_enabled(true);
+        let failovers_before = counter_value("core_failovers_total", &[]);
+        let down_before = counter_value("core_attempt_failures_total", &[("outcome", "down")]);
+        let system = MultiAcceleratorSystem::primary().with_faults(FaultPlan::gpu_down());
+        let hm = HeteroMap::new(system, Box::new(DecisionTree::paper()));
+        let p = hm.schedule(Workload::SsspBf, Dataset::UsaCal);
+        assert_eq!(p.attempts.failovers, 1);
+        assert!(counter_value("core_failovers_total", &[]) > failovers_before);
+        assert!(counter_value("core_attempt_failures_total", &[("outcome", "down")]) > down_before);
+        heteromap_obs::set_metrics_enabled(false);
+    }
+
+    /// With metrics disabled the recorder is never consulted and counters
+    /// stay put.
+    #[test]
+    fn disabled_metrics_do_not_move_counters() {
+        let _guard = gate_lock();
+        heteromap_obs::set_metrics_enabled(false);
+        let before = counter_value("core_placements_total", &[("accelerator", "multicore")]);
+        let hm = HeteroMap::with_decision_tree();
+        let p = hm.schedule(Workload::SsspDelta, Dataset::UsaCal);
+        assert!(p.completed());
+        let after = counter_value("core_placements_total", &[("accelerator", "multicore")]);
+        assert_eq!(after, before, "disabled gate must skip the recorder");
+    }
+}

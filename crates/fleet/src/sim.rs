@@ -30,15 +30,24 @@ use heteromap::{clamp_config_for, BreakerConfig, CircuitBreaker, HeteroMap};
 use heteromap_accel::cost::WorkloadContext;
 use heteromap_accel::{DeployError, FaultState, Occupancy};
 use heteromap_model::MConfig;
+use heteromap_obs::metrics::{
+    Counter, DriftConfig, Gauge, HealthBoard, SeriesDetector, SignalKind,
+};
 use heteromap_tune::{mix, PLACEMENT_SLOTS};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Deploy attempts per device before a job gives up and migrates.
 const MAX_ATTEMPTS: u32 = 3;
 
 /// Oracle budget per evolutionary chunk search.
 const EVOLVE_BUDGET: usize = 56;
+
+/// Cost multiplier applied to a device's quotes while its health signal is
+/// raised: drift-flagged devices look this much slower to the placers, so
+/// load drains away before the circuit breaker has to trip.
+const DRIFT_PENALTY: f64 = 0.3;
 
 /// How one job resolved.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -133,6 +142,9 @@ pub struct FleetReport {
     pub breaker_opens: u64,
     /// Breaker recoveries over the run (0 for naive placers).
     pub breaker_closes: u64,
+    /// Health signals raised by the per-device drift detectors (0 for
+    /// naive placers, which ignore health entirely).
+    pub drift_signals: u64,
     /// Thread-count-independent digest over every job's resolution.
     pub digest: u64,
 }
@@ -294,6 +306,28 @@ impl FleetSim {
         let mut digest: u64 = self.trace.seed ^ 0xF1EE_7C4A_0D1E_5E57;
         let mut uid: u64 = 0;
         let mut rr_cursor: usize = 0;
+
+        // Per-device drift detection feeding the predictor-driven placers:
+        // the migration rate off a healthy device is exactly 0, so the
+        // detectors are armed at baseline 0 and re-armed every episode.
+        // A raised signal inflates the device's quotes by [`DRIFT_PENALTY`]
+        // until it expires — soft avoidance ahead of the breaker's hard cut.
+        let detector_cfg = DriftConfig {
+            min_band: 0.05,
+            baseline: Some(0.0),
+            ..DriftConfig::upward()
+        };
+        let mut detectors: Vec<SeriesDetector> = vec![SeriesDetector::new(detector_cfg); n_dev];
+        let mut health = HealthBoard::new(u64::from(self.trace.episode_len.max(1)));
+        let device_keys: Vec<String> = (0..n_dev).map(|d| format!("device/{d}")).collect();
+        let mut penalties = vec![1.0f64; n_dev];
+        let mut placed_on = vec![0u64; n_dev];
+        let mut migrations_off = vec![0u64; n_dev];
+
+        // Numeric telemetry to the global hub, only when enabled; recording
+        // happens exclusively in the serial phases, so enabling metrics
+        // cannot perturb the digest.
+        let hub_series = heteromap_obs::metrics_enabled().then(|| HubSeries::new(n_dev));
         let mut report = FleetReport {
             jobs: 0,
             good: 0,
@@ -307,6 +341,7 @@ impl FleetSim {
             avg_utilization: 0.0,
             breaker_opens: 0,
             breaker_closes: 0,
+            drift_signals: 0,
             digest: 0,
         };
 
@@ -325,6 +360,11 @@ impl FleetSim {
                     *state = self.trace.fault_for(d, episode);
                 }
                 quotes = self.quotes_for(&states);
+                // New episode, new fault regime: re-arm the drift detectors
+                // so an earlier incident cannot mask this episode's.
+                for det in detectors.iter_mut() {
+                    det.reset();
+                }
                 heteromap_obs::event("fleet.episode", || {
                     let down = states.iter().filter(|s| **s == FaultState::Down).count();
                     let healthy = states.iter().filter(|s| s.is_healthy()).count();
@@ -335,7 +375,10 @@ impl FleetSim {
             }
 
             // Migrated jobs re-enter ahead of this round's arrivals.
-            pending.append(&mut requeue);
+            if !requeue.is_empty() {
+                let _span = heteromap_obs::span_cat("fleet.migrate", "fleet");
+                pending.append(&mut requeue);
+            }
             for k in 0..self.trace.arrivals(round) {
                 let (wi, di) = self.trace.job_for(round, k);
                 let combo = self.combo(wi, di);
@@ -355,6 +398,7 @@ impl FleetSim {
                 continue;
             }
             rounds_driven = round + 1;
+            let _round_span = heteromap_obs::span_cat("fleet.round", "fleet");
 
             // Parallel slot evaluation: every pending job's drawn outcome on
             // every device. Pure per slot; workers only claim indices.
@@ -371,6 +415,7 @@ impl FleetSim {
                 &states,
                 &occ,
                 &breakers,
+                &penalties,
                 now_ms,
                 round,
                 &mut rr_cursor,
@@ -381,6 +426,9 @@ impl FleetSim {
                     None => {
                         // Shed: unplaceable or hopelessly late.
                         report.shed += 1;
+                        if let Some(hub) = &hub_series {
+                            hub.shed.inc();
+                        }
                         if predictor_driven {
                             for b in breakers.iter_mut() {
                                 b.on_shed();
@@ -402,6 +450,7 @@ impl FleetSim {
                         let quote = &quotes[combo][device];
                         let work = outcome.charge_ms + outcome.run_ms;
                         let (_start, finish) = occ[device].admit(now_ms, work);
+                        placed_on[device] += 1;
                         if predictor_driven {
                             for (d, b) in breakers.iter_mut().enumerate() {
                                 if d == device {
@@ -428,6 +477,12 @@ impl FleetSim {
                                 report.late += 1;
                                 Resolution::Late
                             };
+                            if let Some(hub) = &hub_series {
+                                match resolution {
+                                    Resolution::Good => hub.good.inc(),
+                                    _ => hub.late.inc(),
+                                }
+                            }
                             parts.insert(2, resolution.tag());
                             parts.extend(quote.cfg.as_array().iter().map(|x| x.to_bits()));
                         } else if job.migrations < self.trace.max_migrations {
@@ -436,6 +491,10 @@ impl FleetSim {
                             // re-clamps the M-config for whatever device
                             // the next placement picks).
                             report.migrations += 1;
+                            migrations_off[device] += 1;
+                            if let Some(hub) = &hub_series {
+                                hub.migrations.inc();
+                            }
                             let mut moved = *job;
                             moved.migrations += 1;
                             requeue.push(moved);
@@ -448,6 +507,9 @@ impl FleetSim {
                             });
                         } else {
                             report.failed += 1;
+                            if let Some(hub) = &hub_series {
+                                hub.failed.inc();
+                            }
                             parts.insert(2, Resolution::Failed.tag());
                         }
                         digest = fold(digest, &parts);
@@ -455,6 +517,54 @@ impl FleetSim {
                 }
             }
             pending.clear();
+
+            // End-of-round health pass (serial): fold each device's
+            // migration rate into its drift detector, refresh the penalty
+            // table for next round's placement, and mirror gauges to the
+            // global hub.
+            if predictor_driven {
+                let window = u64::from(round) + 1;
+                for d in 0..n_dev {
+                    let rate = migrations_off[d] as f64 / placed_on[d].max(1) as f64;
+                    let verdict = detectors[d].observe(rate);
+                    if verdict.drift {
+                        health.raise(
+                            &device_keys[d],
+                            SignalKind::OutcomeAnomaly,
+                            window,
+                            verdict.score,
+                        );
+                        report.drift_signals += 1;
+                        if let Some(hub) = &hub_series {
+                            hub.drift.inc();
+                        }
+                        let key = &device_keys[d];
+                        heteromap_obs::event("fleet.drift", || {
+                            format!(
+                                "key={key} round={round} rate={rate:.3} score={:.3}",
+                                verdict.score
+                            )
+                        });
+                    }
+                    migrations_off[d] = 0;
+                    placed_on[d] = 0;
+                }
+                health.expire(window);
+                for d in 0..n_dev {
+                    penalties[d] = if health.is_flagged(&device_keys[d]) {
+                        1.0 + DRIFT_PENALTY
+                    } else {
+                        1.0
+                    };
+                }
+            }
+            if let Some(hub) = &hub_series {
+                let span_so_far = (f64::from(round) + 1.0) * self.tick_ms;
+                for (d, o) in occ.iter().enumerate() {
+                    hub.util[d].set(o.utilization(span_so_far));
+                    hub.queue_depth[d].set((o.free_at_ms() - now_ms).max(0.0));
+                }
+            }
             round += 1;
         }
         // Safety net for the drain cap: anything still pending failed.
@@ -606,6 +716,7 @@ impl FleetSim {
         states: &[FaultState],
         occ: &[Occupancy],
         breakers: &[CircuitBreaker],
+        penalties: &[f64],
         now_ms: f64,
         round: u32,
         rr_cursor: &mut usize,
@@ -635,7 +746,7 @@ impl FleetSim {
                 pending
                     .iter()
                     .map(|job| {
-                        let batch = self.batch_view(job, quotes, states, breakers);
+                        let batch = self.batch_view(job, quotes, states, breakers, penalties);
                         let job_view = batch?;
                         let pick = best_candidate(&job_view, &free, now_ms);
                         let device = job_view.allowed[pick];
@@ -659,7 +770,8 @@ impl FleetSim {
                 let mut shadow = free.clone();
                 let mut batch: Vec<(usize, BatchJob)> = Vec::new();
                 for (slot, job) in pending.iter().enumerate() {
-                    let Some(view) = self.batch_view(job, quotes, states, breakers) else {
+                    let Some(view) = self.batch_view(job, quotes, states, breakers, penalties)
+                    else {
                         continue;
                     };
                     let pick = best_candidate(&view, &shadow, now_ms);
@@ -692,14 +804,16 @@ impl FleetSim {
     }
 
     /// The candidate view of one job: targetable devices (not Down, breaker
-    /// allows) with their predicted costs. `None` when nothing is
-    /// targetable.
+    /// allows) with their predicted costs, inflated by the drift-detector
+    /// penalty while a device's health signal is raised. `None` when
+    /// nothing is targetable.
     fn batch_view(
         &self,
         job: &PendingJob,
         quotes: &[Vec<Quote>],
         states: &[FaultState],
         breakers: &[CircuitBreaker],
+        penalties: &[f64],
     ) -> Option<BatchJob> {
         let combo = self.combo(job.wi, job.di);
         let mut allowed = Vec::new();
@@ -713,7 +827,7 @@ impl FleetSim {
                 continue;
             }
             allowed.push(device.id);
-            expected.push(quote.expected_ms);
+            expected.push(quote.expected_ms * penalties[device.id]);
         }
         if allowed.is_empty() {
             return None;
@@ -724,6 +838,62 @@ impl FleetSim {
             allowed,
             expected_ms: expected,
         })
+    }
+}
+
+/// Global-hub series handles for one fleet run, resolved only when
+/// `HETEROMAP_METRICS` is enabled (the disabled path never reaches this).
+struct HubSeries {
+    util: Vec<Arc<Gauge>>,
+    queue_depth: Vec<Arc<Gauge>>,
+    migrations: Arc<Counter>,
+    good: Arc<Counter>,
+    late: Arc<Counter>,
+    failed: Arc<Counter>,
+    shed: Arc<Counter>,
+    drift: Arc<Counter>,
+}
+
+impl HubSeries {
+    #[cold]
+    fn new(n_dev: usize) -> Self {
+        let hub = heteromap_obs::metrics::global();
+        let outcome = |o: &'static str| {
+            hub.counter(
+                "fleet_jobs_total",
+                &[("outcome", o)],
+                "Fleet jobs by resolution bucket",
+            )
+        };
+        let per_device = |name: &str, help: &'static str| {
+            (0..n_dev)
+                .map(|d| hub.gauge(name, &[("device", &d.to_string())], help))
+                .collect()
+        };
+        HubSeries {
+            util: per_device(
+                "fleet_device_utilization",
+                "Busy fraction of one device over the simulated span so far",
+            ),
+            queue_depth: per_device(
+                "fleet_device_queue_ms",
+                "Committed backlog of one device in simulated ms",
+            ),
+            migrations: hub.counter(
+                "fleet_migrations_total",
+                &[],
+                "Migration re-queues (jobs leaving a failed device)",
+            ),
+            good: outcome("good"),
+            late: outcome("late"),
+            failed: outcome("failed"),
+            shed: outcome("shed"),
+            drift: hub.counter(
+                "fleet_drift_signals_total",
+                &[],
+                "Health signals raised by the per-device drift detectors",
+            ),
+        }
     }
 }
 
@@ -840,6 +1010,55 @@ mod tests {
             greedy.good,
             random.good,
             greedy.jobs
+        );
+    }
+
+    #[test]
+    fn drift_detectors_flag_fault_storms_for_predictor_placers_only() {
+        let greedy = sim(Placer::Greedy, 0.9).run(2);
+        assert!(
+            greedy.drift_signals > 0,
+            "migration storms must raise health signals: {greedy:?}"
+        );
+        let random = sim(Placer::Random, 0.9).run(2);
+        assert_eq!(random.drift_signals, 0, "naive placers ignore health");
+        let calm = sim(Placer::Greedy, 0.0).run(2);
+        assert_eq!(calm.drift_signals, 0, "no faults, no signals: {calm:?}");
+    }
+
+    #[test]
+    fn drift_signals_are_thread_count_independent() {
+        let s = sim(Placer::Greedy, 0.7);
+        let one = s.run(1);
+        let sixteen = s.run(16);
+        assert_eq!(one.digest, sixteen.digest);
+        assert_eq!(one.drift_signals, sixteen.drift_signals);
+        assert_eq!(one.migrations, sixteen.migrations);
+    }
+
+    #[test]
+    fn enabling_metrics_does_not_change_the_digest() {
+        use heteromap_obs::metrics::SeriesValue;
+        let s = sim(Placer::Greedy, 0.6);
+        let plain = s.run(2);
+        heteromap_obs::set_metrics_enabled(true);
+        let observed = s.run(2);
+        heteromap_obs::set_metrics_enabled(false);
+        assert_eq!(plain.digest, observed.digest);
+        // The run must have mirrored its tallies to the global hub.
+        let migrated = heteromap_obs::metrics::global()
+            .snapshot()
+            .into_iter()
+            .find(|series| series.name == "fleet_migrations_total")
+            .map(|series| match series.value {
+                SeriesValue::Counter(v) => v,
+                other => panic!("not a counter: {other:?}"),
+            })
+            .unwrap_or(0);
+        assert!(
+            migrated >= observed.migrations,
+            "hub counter {migrated} < report {}",
+            observed.migrations
         );
     }
 

@@ -17,6 +17,13 @@
 //! * **Events** ([`event`]/[`diag`]) capture rare happenings: injected
 //!   faults, retries, failovers, cache invalidations. [`diag`] also mirrors
 //!   to stderr unless [`quiet`], replacing ad-hoc `eprintln!` diagnostics.
+//! * **Metrics** ([`metrics`]) are the numeric complement to spans: a
+//!   label-aware time-series registry (sharded counters, gauges,
+//!   fixed-bucket histograms) aggregated into windowed ring buckets, with
+//!   Prometheus text exposition, JSON snapshots and online drift detection
+//!   (EWMA + Page-Hinkley) feeding typed [`metrics::HealthSignal`]s to the
+//!   fleet placer. Gated on [`metrics_enabled`] (`HETEROMAP_METRICS`),
+//!   same one-relaxed-load cost model as the trace level.
 //! * **Exporters** ([`snapshot`], [`TraceSnapshot::chrome_trace_json`],
 //!   [`TraceSnapshot::phase_table`], [`TraceSnapshot::summary_json`]) turn
 //!   the recorded data into chrome://tracing files, aligned tables, and
@@ -42,6 +49,7 @@ mod config;
 mod event;
 pub mod export;
 pub mod json;
+pub mod metrics;
 mod recorder;
 mod span;
 pub mod util;
@@ -56,6 +64,7 @@ pub use export::{
     reset, snapshot, trace_file_path, write_chrome_trace, PhaseStat, TraceSnapshot,
     DEFAULT_TRACE_FILE, TRACE_FILE_ENV_VAR,
 };
+pub use metrics::{metrics_enabled, set_metrics_enabled, MetricsHub, METRICS_ENV_VAR};
 pub use recorder::{reset_spans, snapshot_spans, SpanRecord, SpanRing, DEFAULT_RING_CAPACITY};
 pub use span::{span, span_cat, spans_named, SpanGuard};
 pub use util::{

@@ -1,0 +1,530 @@
+//! Online drift detection over windowed series, and the health board that
+//! turns detector verdicts into placement advice.
+//!
+//! Two classic detectors run side by side on each monitored series:
+//!
+//! * **EWMA band** — an exponentially weighted mean/variance; a window
+//!   flags when its value leaves the `k·sigma` band (with an absolute
+//!   `min_band` floor so a near-constant series doesn't alarm on noise at
+//!   the 1e-15 scale).
+//! * **Page-Hinkley** — cumulative deviation from the running mean minus a
+//!   drift allowance `delta`; flags when the cumulative sum climbs `lambda`
+//!   above its historical minimum. Catches slow ramps the EWMA band
+//!   forgives.
+//!
+//! Both are pure fold functions of the observation sequence — no clocks, no
+//! randomness — so verdicts over deterministic window series are themselves
+//! deterministic, and identical at any thread count.
+
+use std::collections::BTreeMap;
+
+/// Which direction of change counts as degradation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Increases are degradation (latency, failure score).
+    Up,
+    /// Decreases are degradation (utilization, goodput).
+    Down,
+}
+
+/// Detector tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftConfig {
+    /// EWMA smoothing factor in `(0, 1]` (higher = faster forgetting).
+    pub alpha: f64,
+    /// Sigma multiplier for the EWMA band.
+    pub k: f64,
+    /// Absolute band floor: observations within `min_band` of the mean
+    /// never flag, whatever the variance estimate says.
+    pub min_band: f64,
+    /// Page-Hinkley drift allowance per observation.
+    pub ph_delta: f64,
+    /// Page-Hinkley alarm threshold.
+    pub ph_lambda: f64,
+    /// Observations to absorb before verdicts may flag.
+    pub warmup: u32,
+    /// Which direction of change is degradation.
+    pub direction: Direction,
+    /// Calibrated baseline mean. `Some(m)` arms the detector immediately
+    /// around `m` (the simulators calibrate a calm baseline up front);
+    /// `None` seeds the mean from the first observation.
+    pub baseline: Option<f64>,
+}
+
+impl DriftConfig {
+    /// Degradation-is-increase defaults (latency / failure-score series).
+    pub fn upward() -> Self {
+        DriftConfig {
+            alpha: 0.25,
+            k: 3.0,
+            min_band: 0.05,
+            ph_delta: 0.005,
+            ph_lambda: 0.05,
+            warmup: 0,
+            direction: Direction::Up,
+            baseline: None,
+        }
+    }
+
+    /// Degradation-is-decrease defaults (utilization / goodput series).
+    pub fn downward() -> Self {
+        DriftConfig {
+            direction: Direction::Down,
+            ..DriftConfig::upward()
+        }
+    }
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        DriftConfig::upward()
+    }
+}
+
+/// The detectors' verdict on one observation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Verdict {
+    /// Whether either detector flags this observation as drift.
+    pub drift: bool,
+    /// Whether the EWMA band flagged.
+    pub ewma: bool,
+    /// Whether Page-Hinkley flagged.
+    pub page_hinkley: bool,
+    /// How far past the trigger the observation sits (0 when calm); used
+    /// as a placement penalty weight.
+    pub score: f64,
+}
+
+impl Verdict {
+    const CALM: Verdict = Verdict {
+        drift: false,
+        ewma: false,
+        page_hinkley: false,
+        score: 0.0,
+    };
+}
+
+/// An online drift detector over one windowed series (EWMA band +
+/// Page-Hinkley, see the module docs).
+#[derive(Debug, Clone)]
+pub struct SeriesDetector {
+    cfg: DriftConfig,
+    /// EWMA mean/variance state; armed once `seen_mean` is true.
+    mean: f64,
+    var: f64,
+    seen_mean: bool,
+    /// Page-Hinkley state: running mean of all observations, cumulative
+    /// deviation, and its historical minimum.
+    run_mean: f64,
+    ph_m: f64,
+    ph_min: f64,
+    n: u64,
+}
+
+impl SeriesDetector {
+    /// Creates a detector; `cfg.baseline` (if set) arms the EWMA mean
+    /// immediately.
+    pub fn new(cfg: DriftConfig) -> Self {
+        let (mean, seen_mean) = match cfg.baseline {
+            Some(b) => (Self::orient_value(cfg.direction, b), true),
+            None => (0.0, false),
+        };
+        SeriesDetector {
+            cfg,
+            mean,
+            var: 0.0,
+            seen_mean,
+            run_mean: 0.0,
+            ph_m: 0.0,
+            ph_min: 0.0,
+            n: 0,
+        }
+    }
+
+    fn orient_value(direction: Direction, x: f64) -> f64 {
+        match direction {
+            Direction::Up => x,
+            Direction::Down => -x,
+        }
+    }
+
+    /// Folds one observation (a window's value) and returns the verdict.
+    /// Non-finite observations are absorbed as calm without touching the
+    /// detector state.
+    pub fn observe(&mut self, x: f64) -> Verdict {
+        if !x.is_finite() {
+            return Verdict::CALM;
+        }
+        // Orient so "up is bad" internally regardless of direction.
+        let s = Self::orient_value(self.cfg.direction, x);
+        self.n += 1;
+
+        // Test against the state *before* this observation updates it —
+        // otherwise a step change drags the mean with it and shrinks its
+        // own excess.
+        let (ewma_flag, ewma_excess) = if self.seen_mean {
+            let band = (self.cfg.k * self.var.sqrt()).max(self.cfg.min_band);
+            let excess = s - (self.mean + band);
+            (excess > 0.0, excess.max(0.0))
+        } else {
+            (false, 0.0)
+        };
+
+        // Page-Hinkley fold (increase-only, oriented input).
+        self.run_mean += (s - self.run_mean) / self.n as f64;
+        self.ph_m += s - self.run_mean - self.cfg.ph_delta;
+        self.ph_min = self.ph_min.min(self.ph_m);
+        let ph_excess = self.ph_m - self.ph_min - self.cfg.ph_lambda;
+        let ph_flag = self.n > 1 && ph_excess > 0.0;
+
+        // EWMA update after the test.
+        if self.seen_mean {
+            let d = s - self.mean;
+            self.mean += self.cfg.alpha * d;
+            self.var = (1.0 - self.cfg.alpha) * (self.var + self.cfg.alpha * d * d);
+        } else {
+            self.mean = s;
+            self.seen_mean = true;
+        }
+
+        if self.n <= u64::from(self.cfg.warmup) {
+            return Verdict::CALM;
+        }
+        let drift = ewma_flag || ph_flag;
+        Verdict {
+            drift,
+            ewma: ewma_flag,
+            page_hinkley: ph_flag,
+            score: if drift {
+                ewma_excess.max(ph_excess.max(0.0))
+            } else {
+                0.0
+            },
+        }
+    }
+
+    /// Clears all state back to construction (baseline re-arms).
+    pub fn reset(&mut self) {
+        *self = SeriesDetector::new(self.cfg);
+    }
+
+    /// The detector's configuration.
+    pub fn config(&self) -> &DriftConfig {
+        &self.cfg
+    }
+}
+
+/// What a [`HealthSignal`] is reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SignalKind {
+    /// Latency windows drifted upward past the band.
+    LatencyInflation,
+    /// Utilization windows collapsed below the band.
+    UtilizationDrop,
+    /// Outcome mix degraded (failures, retries, migrations, sheds).
+    OutcomeAnomaly,
+    /// A previously flagged key aged out of the board.
+    Recovered,
+}
+
+impl SignalKind {
+    /// Stable name used in logs and bench artifacts.
+    pub fn name(self) -> &'static str {
+        match self {
+            SignalKind::LatencyInflation => "latency_inflation",
+            SignalKind::UtilizationDrop => "utilization_drop",
+            SignalKind::OutcomeAnomaly => "outcome_anomaly",
+            SignalKind::Recovered => "recovered",
+        }
+    }
+}
+
+/// A typed, timestamped (in windows) drift notification for one key
+/// (a device, a lane, a regime — whatever the monitor watches).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthSignal {
+    /// What the signal is about (e.g. `device:3`).
+    pub key: String,
+    /// What kind of degradation (or recovery) was observed.
+    pub kind: SignalKind,
+    /// Window index the verdict landed on.
+    pub window: u64,
+    /// Detector excess past the trigger (penalty weight).
+    pub score: f64,
+}
+
+#[derive(Debug, Clone)]
+struct ActiveEntry {
+    until_window: u64,
+    score: f64,
+    kind: SignalKind,
+}
+
+/// Aggregates [`HealthSignal`]s into per-key active state with a TTL, and
+/// answers penalty queries from the placer.
+///
+/// Deterministic by construction: `BTreeMap` keyed state, mutated only from
+/// serial phases, no clocks — `expire` advances on the caller's window
+/// counter.
+#[derive(Debug, Clone)]
+pub struct HealthBoard {
+    ttl_windows: u64,
+    active: BTreeMap<String, ActiveEntry>,
+    history: Vec<HealthSignal>,
+}
+
+impl HealthBoard {
+    /// Creates an empty board; raised signals stay active for
+    /// `ttl_windows` windows past the window they were raised in.
+    pub fn new(ttl_windows: u64) -> Self {
+        HealthBoard {
+            ttl_windows,
+            active: BTreeMap::new(),
+            history: Vec::new(),
+        }
+    }
+
+    /// Raises (or refreshes) a signal for `key`: extends its TTL, keeps the
+    /// maximum score, and appends to the history.
+    pub fn raise(&mut self, key: &str, kind: SignalKind, window: u64, score: f64) {
+        let signal = HealthSignal {
+            key: key.to_string(),
+            kind,
+            window,
+            score,
+        };
+        let entry = self
+            .active
+            .entry(key.to_string())
+            .or_insert_with(|| ActiveEntry {
+                until_window: window + self.ttl_windows,
+                score,
+                kind,
+            });
+        entry.until_window = window + self.ttl_windows;
+        entry.score = entry.score.max(score);
+        entry.kind = kind;
+        self.history.push(signal);
+    }
+
+    /// Expires entries whose TTL passed before `window`, appending a
+    /// [`SignalKind::Recovered`] record for each.
+    pub fn expire(&mut self, window: u64) {
+        let expired: Vec<String> = self
+            .active
+            .iter()
+            .filter(|(_, e)| e.until_window < window)
+            .map(|(k, _)| k.clone())
+            .collect();
+        for key in expired {
+            self.active.remove(&key);
+            self.history.push(HealthSignal {
+                key,
+                kind: SignalKind::Recovered,
+                window,
+                score: 0.0,
+            });
+        }
+    }
+
+    /// Whether `key` currently has an active (unexpired) signal.
+    pub fn is_flagged(&self, key: &str) -> bool {
+        self.active.contains_key(key)
+    }
+
+    /// The active score for `key` (0 when unflagged) — placers scale their
+    /// cost estimates by a function of this.
+    pub fn penalty(&self, key: &str) -> f64 {
+        self.active.get(key).map_or(0.0, |e| e.score)
+    }
+
+    /// Currently flagged keys in sorted order.
+    pub fn flagged_keys(&self) -> Vec<&str> {
+        self.active.keys().map(String::as_str).collect()
+    }
+
+    /// Every signal ever raised or expired, in raise order.
+    pub fn signals(&self) -> &[HealthSignal] {
+        &self.history
+    }
+
+    /// Number of degradation signals raised (excludes `Recovered` records).
+    pub fn raised_count(&self) -> u64 {
+        self.history
+            .iter()
+            .filter(|s| s.kind != SignalKind::Recovered)
+            .count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_series_never_flags() {
+        let mut d = SeriesDetector::new(DriftConfig::upward());
+        for _ in 0..200 {
+            assert!(!d.observe(0.5).drift);
+        }
+    }
+
+    #[test]
+    fn zero_series_with_zero_baseline_never_flags() {
+        let mut d = SeriesDetector::new(DriftConfig {
+            baseline: Some(0.0),
+            ..DriftConfig::upward()
+        });
+        for _ in 0..500 {
+            assert!(!d.observe(0.0).drift);
+        }
+    }
+
+    #[test]
+    fn step_change_flags_immediately_with_baseline() {
+        let mut d = SeriesDetector::new(DriftConfig {
+            baseline: Some(0.0),
+            min_band: 0.02,
+            ..DriftConfig::upward()
+        });
+        let v = d.observe(1.0);
+        assert!(v.drift && v.ewma, "{v:?}");
+        assert!(v.score > 0.9, "{v:?}");
+    }
+
+    #[test]
+    fn step_change_flags_after_calm_prefix() {
+        let mut d = SeriesDetector::new(DriftConfig::upward());
+        for _ in 0..20 {
+            assert!(!d.observe(0.1).drift);
+        }
+        assert!(d.observe(2.0).drift);
+    }
+
+    #[test]
+    fn slow_ramp_trips_page_hinkley() {
+        // A ramp of +0.004/window stays inside a wide EWMA band but
+        // accumulates in the Page-Hinkley sum.
+        let mut d = SeriesDetector::new(DriftConfig {
+            min_band: 10.0, // disable the EWMA band entirely
+            ph_delta: 0.001,
+            ph_lambda: 0.05,
+            ..DriftConfig::upward()
+        });
+        let mut flagged = false;
+        for i in 0..100 {
+            let v = d.observe(i as f64 * 0.004);
+            if v.drift {
+                assert!(v.page_hinkley && !v.ewma, "{v:?}");
+                flagged = true;
+                break;
+            }
+        }
+        assert!(flagged, "ramp never flagged");
+    }
+
+    #[test]
+    fn downward_direction_flags_collapses() {
+        let mut d = SeriesDetector::new(DriftConfig {
+            baseline: Some(0.9),
+            min_band: 0.1,
+            ..DriftConfig::downward()
+        });
+        assert!(!d.observe(0.88).drift, "small wobble stays calm");
+        assert!(d.observe(0.2).drift, "collapse flags");
+    }
+
+    #[test]
+    fn upward_direction_ignores_improvements() {
+        let mut d = SeriesDetector::new(DriftConfig {
+            baseline: Some(1.0),
+            ..DriftConfig::upward()
+        });
+        for _ in 0..50 {
+            assert!(!d.observe(0.0).drift, "getting faster is not drift");
+        }
+    }
+
+    #[test]
+    fn warmup_suppresses_early_verdicts() {
+        let mut d = SeriesDetector::new(DriftConfig {
+            baseline: Some(0.0),
+            warmup: 3,
+            ..DriftConfig::upward()
+        });
+        assert!(!d.observe(5.0).drift);
+        assert!(!d.observe(5.0).drift);
+        assert!(!d.observe(5.0).drift);
+        // Warmup over; a fresh excursion past the (now higher) mean flags.
+        assert!(d.observe(50.0).drift);
+    }
+
+    #[test]
+    fn non_finite_observations_are_absorbed() {
+        let mut d = SeriesDetector::new(DriftConfig {
+            baseline: Some(0.0),
+            ..DriftConfig::upward()
+        });
+        assert!(!d.observe(f64::NAN).drift);
+        assert!(!d.observe(f64::INFINITY).drift);
+        assert!(d.observe(1.0).drift, "state unharmed by the NaNs");
+    }
+
+    #[test]
+    fn reset_re_arms_the_baseline() {
+        let cfg = DriftConfig {
+            baseline: Some(0.0),
+            ..DriftConfig::upward()
+        };
+        let mut d = SeriesDetector::new(cfg);
+        for _ in 0..10 {
+            d.observe(3.0);
+        }
+        d.reset();
+        assert!(d.observe(1.0).drift, "baseline back at 0 after reset");
+    }
+
+    #[test]
+    fn detector_is_a_pure_fold() {
+        let cfg = DriftConfig {
+            baseline: Some(0.1),
+            ..DriftConfig::upward()
+        };
+        let series: Vec<f64> = (0..60).map(|i| 0.1 + (i % 7) as f64 * 0.03).collect();
+        let run = |series: &[f64]| -> Vec<Verdict> {
+            let mut d = SeriesDetector::new(cfg);
+            series.iter().map(|&x| d.observe(x)).collect()
+        };
+        assert_eq!(run(&series), run(&series));
+    }
+
+    #[test]
+    fn board_raises_flags_and_expires_with_recovery() {
+        let mut board = HealthBoard::new(2);
+        board.raise("device:1", SignalKind::OutcomeAnomaly, 10, 0.4);
+        assert!(board.is_flagged("device:1"));
+        assert_eq!(board.penalty("device:1"), 0.4);
+        assert_eq!(board.penalty("device:0"), 0.0);
+        board.expire(12); // until_window = 12, not yet past
+        assert!(board.is_flagged("device:1"));
+        board.expire(13);
+        assert!(!board.is_flagged("device:1"));
+        let kinds: Vec<SignalKind> = board.signals().iter().map(|s| s.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![SignalKind::OutcomeAnomaly, SignalKind::Recovered]
+        );
+        assert_eq!(board.raised_count(), 1);
+    }
+
+    #[test]
+    fn board_refresh_extends_ttl_and_keeps_max_score() {
+        let mut board = HealthBoard::new(2);
+        board.raise("d", SignalKind::LatencyInflation, 1, 0.9);
+        board.raise("d", SignalKind::LatencyInflation, 3, 0.2);
+        board.expire(4); // original TTL (1+2) passed; refreshed TTL (3+2) holds
+        assert!(board.is_flagged("d"));
+        assert_eq!(board.penalty("d"), 0.9, "max score retained");
+        assert_eq!(board.flagged_keys(), vec!["d"]);
+    }
+}

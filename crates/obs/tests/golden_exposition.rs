@@ -1,0 +1,111 @@
+//! Golden-file test pinning the Prometheus text exposition byte-for-byte.
+//!
+//! The in-crate unit tests check the exposition *round-trips* through the
+//! crate's own parser, which would not catch a format drift that both the
+//! writer and the parser agree on (a changed escape, a reordered label, a
+//! different float rendering). This test freezes the exact bytes a fixed
+//! recording produces — label escaping of quotes/backslashes/newlines,
+//! `le`-labelled cumulative buckets with the `+Inf` terminator, and the
+//! `_sum`/`_count` companion series — against a committed golden file.
+//!
+//! To regenerate after an *intentional* format change:
+//! `UPDATE_GOLDEN=1 cargo test -p heteromap-obs --test golden_exposition`
+
+use heteromap_obs::metrics::{prometheus_text, MetricsHub};
+use std::path::PathBuf;
+
+/// Explicit bounds so every `le` bucket of the golden file is hand-checkable.
+static BOUNDS_MS: [f64; 4] = [1.0, 5.0, 25.0, 100.0];
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("exposition.prom")
+}
+
+/// One fixed recording exercising every exposition feature at once.
+fn build_fixture() -> MetricsHub {
+    let hub = MetricsHub::new();
+
+    // Counters: two label sets under one name (single HELP/TYPE header),
+    // with label values that need every escape the spec defines.
+    let fast = hub.counter(
+        "jobs_total",
+        &[("queue", "fast\"lane"), ("tier", "a\\b")],
+        "Jobs processed per queue",
+    );
+    let slow = hub.counter(
+        "jobs_total",
+        &[("queue", "slow\nlane"), ("tier", "plain")],
+        "Jobs processed per queue",
+    );
+    fast.add(7);
+    slow.inc();
+
+    // A bare gauge (no labels) with a fractional value.
+    let depth = hub.gauge("queue_depth", &[], "Requests waiting in the queue");
+    depth.set(3.5);
+
+    // A histogram covering: empty buckets, interior buckets, and two
+    // overflow samples that only the +Inf bucket catches.
+    let latency = hub.histogram(
+        "latency_ms",
+        &[("path", "warm")],
+        "End-to-end request latency",
+        &BOUNDS_MS,
+    );
+    for v in [0.5, 2.0, 2.0, 30.0, 250.0, 1000.0] {
+        latency.record(v);
+    }
+
+    hub.roll();
+    hub
+}
+
+#[test]
+fn exposition_matches_the_committed_golden_file() {
+    let hub = build_fixture();
+    let text = prometheus_text(&hub.snapshot());
+    let path = golden_path();
+
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &text).expect("write golden file");
+        return;
+    }
+
+    let golden = std::fs::read_to_string(&path)
+        .expect("golden file missing - run with UPDATE_GOLDEN=1 to create it");
+    assert_eq!(
+        text, golden,
+        "Prometheus exposition drifted from {path:?}; if the change is \
+         intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn golden_file_spot_checks() {
+    // Independent of byte equality: the committed file must carry the
+    // structural features the golden test exists to protect.
+    let golden = std::fs::read_to_string(golden_path())
+        .expect("golden file missing - run with UPDATE_GOLDEN=1 to create it");
+    for needle in [
+        "# TYPE jobs_total counter",
+        "queue=\"fast\\\"lane\"", // escaped quote
+        "tier=\"a\\\\b\"",        // escaped backslash
+        "queue=\"slow\\nlane\"",  // escaped newline
+        "# TYPE latency_ms histogram",
+        "le=\"+Inf\"",
+        "latency_ms_sum{",
+        "latency_ms_count{",
+    ] {
+        assert!(golden.contains(needle), "golden file lost {needle:?}");
+    }
+    // Exactly one HELP/TYPE header per metric name, counters included.
+    assert_eq!(golden.matches("# TYPE jobs_total counter").count(), 1);
+    // Cumulative buckets: one line per bound plus the +Inf terminator.
+    assert_eq!(
+        golden.matches("latency_ms_bucket{").count(),
+        BOUNDS_MS.len() + 1
+    );
+}

@@ -1,188 +1,24 @@
 //! Atomic metrics registry for the serving engine.
 //!
-//! Plain `std::sync::atomic` counters and fixed-bucket histograms — no
-//! allocation or locking on the hot path — covering the cache (hits,
-//! misses, evictions, invalidations), the batcher (batch sizes, queue
-//! depth, single-flight waits), scheduling outcomes (per-accelerator
-//! placement counts, failures) and latency distributions (schedule and
-//! kernel p50/p95/p99). [`MetricsRegistry::snapshot`] freezes everything
-//! into a [`MetricsSnapshot`] that renders as JSON with no external
-//! dependencies, matching the hand-rolled emitters in `heteromap-bench`.
+//! The recording primitives — sharded [`Counter`]s, [`PeakGauge`]s and
+//! fixed-bucket [`Histogram`]s — live in [`heteromap_obs::metrics`] and are
+//! re-exported here; this module keeps the serving-specific registry: typed
+//! fields covering the cache (hits, misses, evictions, invalidations), the
+//! batcher (batch sizes, queue depth, single-flight waits), scheduling
+//! outcomes (per-accelerator placement counts, failures) and latency
+//! distributions (schedule and kernel p50/p95/p99).
+//! [`MetricsRegistry::snapshot`] freezes everything into a
+//! [`MetricsSnapshot`] that renders as JSON with no external dependencies,
+//! and [`MetricsRegistry::series`] re-expresses the same state as
+//! label-aware series for the shared Prometheus text exposition.
 
 use heteromap::Placement;
 use heteromap_model::Accelerator;
+use heteromap_obs::metrics::{prometheus_text, SeriesSnapshot, SeriesValue};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-/// A monotonically increasing atomic counter.
-///
-/// Cache-line aligned: registry counters sit in adjacent fields and are
-/// bumped from every worker thread, so without padding two unrelated
-/// counters (say `cache_hits` and `gpu_placements`) would share a line and
-/// every increment would ping-pong it between cores — false sharing that
-/// showed up at 16 threads.
-#[derive(Debug, Default)]
-#[repr(align(64))]
-pub struct Counter(AtomicU64);
-
-impl Counter {
-    /// Creates a zeroed counter.
-    pub fn new() -> Self {
-        Counter::default()
-    }
-
-    /// Adds one.
-    pub fn inc(&self) {
-        self.add(1);
-    }
-
-    /// Adds `n`.
-    pub fn add(&self, n: u64) {
-        self.0.fetch_add(n, Ordering::Relaxed);
-    }
-
-    /// Current value.
-    pub fn get(&self) -> u64 {
-        self.0.load(Ordering::Relaxed)
-    }
-}
-
-/// A high-watermark gauge (records the maximum observed value).
-/// Cache-line aligned for the same reason as [`Counter`].
-#[derive(Debug, Default)]
-#[repr(align(64))]
-pub struct PeakGauge(AtomicU64);
-
-impl PeakGauge {
-    /// Creates a zeroed gauge.
-    pub fn new() -> Self {
-        PeakGauge::default()
-    }
-
-    /// Records an observation, keeping the maximum.
-    pub fn observe(&self, v: u64) {
-        self.0.fetch_max(v, Ordering::Relaxed);
-    }
-
-    /// The peak observed so far.
-    pub fn get(&self) -> u64 {
-        self.0.load(Ordering::Relaxed)
-    }
-}
-
-/// Upper bucket bounds for latency histograms, in milliseconds
-/// (25 ns … 5 s; one overflow bucket follows). The sub-microsecond decades
-/// are deliberately dense: cached serves complete in a few hundred
-/// nanoseconds, and with the old 0.0005 → 0.001 jump every sub-µs request
-/// collapsed into the 1 µs bucket, so p50 read a flat 0.001 ms.
-const LATENCY_BOUNDS_MS: [f64; 31] = [
-    0.000025, 0.00005, 0.0001, 0.0002, 0.0003, 0.0005, 0.00075, 0.001, 0.0015, 0.002, 0.003, 0.005,
-    0.0075, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0,
-    1000.0, 2000.0, 5000.0,
-];
-
-/// Upper bucket bounds for batch-size histograms.
-const BATCH_BOUNDS: [f64; 12] = [
-    1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 32.0, 64.0, 128.0, 256.0,
-];
-
-/// A fixed-bucket histogram with atomic buckets.
-///
-/// Quantiles are resolved to the upper bound of the bucket holding the
-/// requested rank — a deliberate over-estimate bounded by the bucket
-/// spacing, which is the standard trade for lock-free recording.
-#[derive(Debug)]
-pub struct Histogram {
-    bounds: &'static [f64],
-    /// One bucket per bound plus a final overflow bucket.
-    buckets: Vec<AtomicU64>,
-    count: AtomicU64,
-    /// Sum scaled by 1e6 (nanosecond resolution for millisecond samples).
-    sum_scaled: AtomicU64,
-}
-
-impl Histogram {
-    /// A histogram over [`LATENCY_BOUNDS_MS`] (values in milliseconds).
-    pub fn latency_ms() -> Self {
-        Histogram::with_bounds(&LATENCY_BOUNDS_MS)
-    }
-
-    /// A histogram over [`BATCH_BOUNDS`] (values are batch sizes).
-    pub fn batch_sizes() -> Self {
-        Histogram::with_bounds(&BATCH_BOUNDS)
-    }
-
-    fn with_bounds(bounds: &'static [f64]) -> Self {
-        Histogram {
-            bounds,
-            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
-            count: AtomicU64::new(0),
-            sum_scaled: AtomicU64::new(0),
-        }
-    }
-
-    /// Records one sample (negative/NaN samples count into bucket 0).
-    pub fn record(&self, v: f64) {
-        // "Not greater than the bound" is `v <= b` for real samples and
-        // true for NaN, so NaN lands in bucket 0 as documented instead of
-        // the overflow bucket a plain `v <= b` would send it to.
-        let idx = self
-            .bounds
-            .iter()
-            .position(|&b| !matches!(v.partial_cmp(&b), Some(std::cmp::Ordering::Greater)))
-            .unwrap_or(self.bounds.len());
-        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        if v.is_finite() && v > 0.0 {
-            self.sum_scaled
-                .fetch_add((v * 1e6).round() as u64, Ordering::Relaxed);
-        }
-    }
-
-    /// Records one sample given in integer nanoseconds — the serving path
-    /// measures `Instant::elapsed().as_nanos()` and records through this, so
-    /// sub-microsecond latencies keep their resolution end to end.
-    pub fn record_ns(&self, ns: u64) {
-        self.record(ns as f64 / 1e6);
-    }
-
-    /// Number of recorded samples.
-    pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
-    }
-
-    /// Mean of recorded samples (`NaN` when empty).
-    pub fn mean(&self) -> f64 {
-        let n = self.count();
-        if n == 0 {
-            return f64::NAN;
-        }
-        self.sum_scaled.load(Ordering::Relaxed) as f64 / 1e6 / n as f64
-    }
-
-    /// The `q`-quantile (`0 < q <= 1`) as the upper bound of the bucket
-    /// containing that rank; `NaN` when empty, the last bound when the rank
-    /// lands in the overflow bucket.
-    pub fn quantile(&self, q: f64) -> f64 {
-        let total = self.count();
-        if total == 0 {
-            return f64::NAN;
-        }
-        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (idx, bucket) in self.buckets.iter().enumerate() {
-            seen += bucket.load(Ordering::Relaxed);
-            if seen >= rank {
-                return self.bounds.get(idx).copied().unwrap_or_else(|| {
-                    // Overflow bucket: report the largest finite bound.
-                    *self.bounds.last().expect("histogram has bounds")
-                });
-            }
-        }
-        *self.bounds.last().expect("histogram has bounds")
-    }
-}
+pub use heteromap_obs::metrics::{Counter, Histogram, PeakGauge};
 
 /// The serving engine's metrics registry.
 ///
@@ -364,6 +200,159 @@ impl MetricsRegistry {
                 .collect(),
         }
     }
+
+    /// Re-expresses the registry as label-aware series (sorted by name,
+    /// then labels) for the shared exposition pipeline.
+    pub fn series(&self) -> Vec<SeriesSnapshot> {
+        let counter = |name: &str, help: &str, c: &Counter| SeriesSnapshot {
+            name: name.to_string(),
+            labels: Vec::new(),
+            help: help.to_string(),
+            value: SeriesValue::Counter(c.get()),
+        };
+        let histogram = |name: &str, help: &str, h: &Histogram| SeriesSnapshot {
+            name: name.to_string(),
+            labels: Vec::new(),
+            help: help.to_string(),
+            value: SeriesValue::Histogram {
+                bounds: h.bounds().to_vec(),
+                buckets: h.bucket_counts(),
+                sum: h.sum(),
+                count: h.count(),
+            },
+        };
+        let mut out = vec![
+            counter("serve_cache_hits_total", "Cache hits", &self.cache_hits),
+            counter(
+                "serve_cache_misses_total",
+                "Cache misses",
+                &self.cache_misses,
+            ),
+            counter(
+                "serve_cache_evictions_total",
+                "LRU evictions",
+                &self.cache_evictions,
+            ),
+            counter(
+                "serve_cache_invalidations_total",
+                "Explicit cache invalidations",
+                &self.cache_invalidations,
+            ),
+            counter(
+                "serve_single_flight_waits_total",
+                "Duplicate requests that waited on an in-flight key",
+                &self.single_flight_waits,
+            ),
+            counter(
+                "serve_batches_total",
+                "Batched inference passes",
+                &self.batches,
+            ),
+            counter(
+                "serve_batched_requests_total",
+                "Requests served through batches",
+                &self.batched_requests,
+            ),
+            counter(
+                "serve_stream_chunks_total",
+                "Chunks scheduled through the streaming path",
+                &self.stream_chunks,
+            ),
+            counter(
+                "serve_stream_restreams_total",
+                "OOM re-streams",
+                &self.stream_restreams,
+            ),
+            counter(
+                "serve_admitted_total",
+                "Requests admitted by the admission controller",
+                &self.admitted,
+            ),
+            counter(
+                "serve_rejected_overload_total",
+                "Requests rejected for overload",
+                &self.rejected_overload,
+            ),
+            counter(
+                "serve_rejected_unhealthy_total",
+                "Requests rejected with every accelerator unhealthy",
+                &self.rejected_unhealthy,
+            ),
+            counter(
+                "serve_deadline_misses_total",
+                "Requests that missed their deadline",
+                &self.deadline_misses,
+            ),
+            counter(
+                "serve_stale_served_total",
+                "Overloaded requests shed onto stale cached predictions",
+                &self.stale_served,
+            ),
+            counter(
+                "serve_breaker_opens_total",
+                "Circuit-breaker trips",
+                &self.breaker_opens,
+            ),
+            counter(
+                "serve_breaker_closes_total",
+                "Circuit-breaker recoveries",
+                &self.breaker_closes,
+            ),
+            counter(
+                "serve_failed_placements_total",
+                "Placements that exhausted every accelerator",
+                &self.failed_placements,
+            ),
+            SeriesSnapshot {
+                name: "serve_queue_depth_peak".to_string(),
+                labels: Vec::new(),
+                help: "Peak submission-queue depth".to_string(),
+                value: SeriesValue::Gauge(self.queue_depth_peak.get() as f64),
+            },
+            histogram(
+                "serve_schedule_latency_ms",
+                "End-to-end serve latency per request (ms)",
+                &self.schedule_latency,
+            ),
+            histogram(
+                "serve_kernel_latency_ms",
+                "Host kernel-execution latency (ms)",
+                &self.kernel_latency,
+            ),
+            histogram(
+                "serve_batch_size",
+                "Batched-inference batch sizes",
+                &self.batch_sizes,
+            ),
+        ];
+        for accel in ["gpu", "multicore"] {
+            let c = match accel {
+                "gpu" => &self.gpu_placements,
+                _ => &self.multicore_placements,
+            };
+            out.push(SeriesSnapshot {
+                name: "serve_placements_total".to_string(),
+                labels: vec![("accelerator".to_string(), accel.to_string())],
+                help: "Placements routed per accelerator".to_string(),
+                value: SeriesValue::Counter(c.get()),
+            });
+        }
+        for (slug, c) in self.extra.lock().expect("metrics registry poisoned").iter() {
+            out.push(SeriesSnapshot {
+                name: "serve_extra_total".to_string(),
+                labels: vec![("name".to_string(), slug.clone())],
+                help: "Ad-hoc registered counters".to_string(),
+                value: SeriesValue::Counter(c.get()),
+            });
+        }
+        out.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+        out
+    }
+
+    /// Renders every metric in the Prometheus text exposition format.
+    pub fn prometheus_text(&self) -> String {
+        prometheus_text(&self.series())
+    }
 }
 
 /// A frozen view of the registry (plain values, JSON-renderable).
@@ -522,169 +511,21 @@ mod tests {
     }
 
     #[test]
-    fn histogram_quantiles_bracket_samples() {
-        let h = Histogram::latency_ms();
+    fn percentiles_come_from_the_shared_histogram() {
+        // The serve snapshot's p50/p99 fields and the shared obs histogram
+        // must agree — one bucket-math implementation, not two.
+        let m = MetricsRegistry::new();
         for _ in 0..90 {
-            h.record(0.004); // -> 0.005 bucket
+            m.schedule_latency.record_ns(180);
         }
         for _ in 0..10 {
-            h.record(3.0); // -> 5.0 bucket
+            m.schedule_latency.record_ns(900);
         }
-        assert_eq!(h.count(), 100);
-        assert!(
-            (h.quantile(0.5) - 0.005).abs() < 1e-12,
-            "{}",
-            h.quantile(0.5)
-        );
-        assert!(
-            (h.quantile(0.99) - 5.0).abs() < 1e-12,
-            "{}",
-            h.quantile(0.99)
-        );
-        let mean = h.mean();
-        assert!(mean > 0.004 && mean < 3.0, "{mean}");
-    }
-
-    #[test]
-    fn histogram_overflow_reports_last_bound() {
-        let h = Histogram::latency_ms();
-        h.record(1e9);
-        assert_eq!(h.quantile(0.5), 5000.0);
-    }
-
-    #[test]
-    fn empty_histogram_quantile_is_nan() {
-        assert!(Histogram::latency_ms().quantile(0.5).is_nan());
-        assert!(Histogram::latency_ms().mean().is_nan());
-    }
-
-    #[test]
-    fn quantiles_on_a_known_distribution() {
-        // 100 samples, exactly one per 0.01 step in (0, 1.0]: sample k is
-        // (k+1)/100 ms. Ranks are exact, so each quantile must resolve to
-        // the upper bound of the bucket holding that rank.
-        let h = Histogram::latency_ms();
-        for k in 0..100 {
-            h.record((k + 1) as f64 / 100.0);
-        }
-        // Rank 50 is sample 0.50 ms -> bucket (0.2, 0.5].
-        assert_eq!(h.quantile(0.50), 0.5);
-        // Rank 95 is sample 0.95 ms -> bucket (0.5, 1.0].
-        assert_eq!(h.quantile(0.95), 1.0);
-        // Rank 99 is sample 0.99 ms -> same bucket.
-        assert_eq!(h.quantile(0.99), 1.0);
-        // Rank 100 is sample 1.00 ms, on the bucket boundary -> still 1.0.
-        assert_eq!(h.quantile(1.0), 1.0);
-        let mean = h.mean();
-        assert!((mean - 0.505).abs() < 1e-6, "{mean}");
-    }
-
-    #[test]
-    fn boundary_samples_land_in_the_lower_bucket() {
-        // `v <= bound` means a sample exactly on a bound belongs to that
-        // bound's bucket, not the next one.
-        let h = Histogram::latency_ms();
-        h.record(0.005);
-        assert_eq!(h.quantile(1.0), 0.005);
-        let h = Histogram::latency_ms();
-        h.record(0.0050001);
-        assert_eq!(h.quantile(1.0), 0.0075);
-    }
-
-    #[test]
-    fn single_sample_dominates_every_quantile() {
-        let h = Histogram::latency_ms();
-        h.record(0.3); // -> 0.5 bucket
-        for q in [0.01, 0.5, 0.95, 0.99, 1.0] {
-            assert_eq!(h.quantile(q), 0.5, "q={q}");
-        }
-        assert_eq!(h.count(), 1);
-        assert!((h.mean() - 0.3).abs() < 1e-6);
-    }
-
-    #[test]
-    fn tiny_and_extreme_quantiles_are_clamped() {
-        let h = Histogram::latency_ms();
-        h.record(0.05);
-        h.record(40.0);
-        // q=0 clamps to rank 1 (the smallest sample's bucket).
-        assert_eq!(h.quantile(0.0), 0.05);
-        assert_eq!(h.quantile(-3.0), 0.05);
-        // q>1 clamps to the full population.
-        assert_eq!(h.quantile(7.0), 50.0);
-    }
-
-    #[test]
-    fn negative_and_nan_samples_count_into_bucket_zero() {
-        let h = Histogram::latency_ms();
-        h.record(-1.0);
-        h.record(f64::NAN);
-        assert_eq!(h.count(), 2);
-        // Both land in the first bucket; they contribute nothing to the sum.
-        assert_eq!(h.quantile(1.0), 0.000025);
-        assert_eq!(h.mean(), 0.0);
-    }
-
-    #[test]
-    fn nanosecond_recording_resolves_sub_microsecond_quantiles() {
-        // The bench regression this fixes: sub-µs latencies must not all
-        // collapse into one bucket that reads 0.001 ms.
-        let h = Histogram::latency_ms();
-        for _ in 0..90 {
-            h.record_ns(180); // 0.00018 ms -> 0.0002 bucket
-        }
-        for _ in 0..10 {
-            h.record_ns(900); // 0.0009 ms -> 0.001 bucket
-        }
-        assert_eq!(h.quantile(0.50), 0.0002);
-        assert_eq!(h.quantile(0.99), 0.001);
-        let mean = h.mean();
-        assert!((mean - 0.000252).abs() < 1e-9, "{mean}");
-    }
-
-    #[test]
-    fn hot_atomics_are_cache_line_padded() {
-        assert!(std::mem::align_of::<Counter>() >= 64);
-        assert!(std::mem::align_of::<PeakGauge>() >= 64);
-    }
-
-    #[test]
-    fn batch_bounds_cover_small_batches_exactly() {
-        let h = Histogram::batch_sizes();
-        for size in [1.0, 2.0, 3.0, 4.0] {
-            h.record(size);
-        }
-        assert_eq!(h.quantile(0.25), 1.0);
-        assert_eq!(h.quantile(0.5), 2.0);
-        assert_eq!(h.quantile(0.75), 3.0);
-        assert_eq!(h.quantile(1.0), 4.0);
-    }
-
-    #[test]
-    fn quantiles_are_monotone_in_q() {
-        let h = Histogram::latency_ms();
-        let samples = [0.003, 0.02, 0.02, 0.4, 1.5, 1.5, 80.0, 4000.0];
-        for s in samples {
-            h.record(s);
-        }
-        let qs = [0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
-        let values: Vec<f64> = qs.iter().map(|&q| h.quantile(q)).collect();
-        for pair in values.windows(2) {
-            assert!(pair[0] <= pair[1], "{values:?}");
-        }
-        // And every quantile is a real bucket bound.
-        for v in values {
-            assert!(LATENCY_BOUNDS_MS.contains(&v), "{v}");
-        }
-    }
-
-    #[test]
-    fn peak_gauge_keeps_maximum() {
-        let g = PeakGauge::new();
-        g.observe(3);
-        g.observe(9);
-        g.observe(5);
-        assert_eq!(g.get(), 9);
+        let snap = m.snapshot();
+        assert_eq!(snap.schedule_p50_ms, m.schedule_latency.quantile(0.50));
+        assert_eq!(snap.schedule_p50_ms, 0.0002);
+        assert_eq!(snap.schedule_p99_ms, 0.001);
+        assert_eq!(snap.requests, 100);
     }
 
     #[test]
@@ -712,5 +553,32 @@ mod tests {
         // NaN quantities must render as null, not NaN.
         assert!(!json.contains("NaN"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn series_expose_and_round_trip() {
+        let m = MetricsRegistry::new();
+        m.cache_hits.add(3);
+        m.gpu_placements.add(2);
+        m.multicore_placements.inc();
+        m.schedule_latency.record(0.5);
+        m.queue_depth_peak.observe(6);
+        m.counter("bfs runs").add(4);
+        let series = m.series();
+        let text = m.prometheus_text();
+        assert!(text.contains("serve_cache_hits_total 3\n"));
+        assert!(text.contains("serve_placements_total{accelerator=\"gpu\"} 2\n"));
+        assert!(text.contains("serve_placements_total{accelerator=\"multicore\"} 1\n"));
+        assert!(text.contains("serve_queue_depth_peak 6\n"));
+        assert!(text.contains("serve_extra_total{name=\"bfs_runs\"} 4\n"));
+        assert!(text.contains("serve_schedule_latency_ms_count 1\n"));
+        let parsed = heteromap_obs::metrics::parse_prometheus(&text).unwrap();
+        assert_eq!(parsed, heteromap_obs::metrics::samples(&series));
+        // Grouped by name: one TYPE header per metric even with two labels.
+        assert_eq!(
+            text.matches("# TYPE serve_placements_total counter")
+                .count(),
+            1
+        );
     }
 }

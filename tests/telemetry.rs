@@ -1,0 +1,62 @@
+//! Cross-crate telemetry determinism properties.
+//!
+//! The metrics registry records from worker pools, so the risk it must
+//! disprove is thread-count-dependent aggregation: a counter folded in
+//! arrival order, a drift verdict that saw windows in a racy order. These
+//! properties drive random chaos plans and fleet traces through the
+//! telemetry paths at 1, 4 and 16 threads — with the global metrics gate
+//! **enabled** — and demand bit-identical digests, drift verdicts and
+//! Prometheus expositions.
+//!
+//! The tests in this binary only ever turn the process-global gate *on*,
+//! so they can run concurrently without a serializing lock.
+
+use heteromap_chaos::{ChaosPlan, ChaosRunner};
+use heteromap_fleet::{Cluster, FleetSim, FleetTrace, Placer};
+use proptest::prelude::*;
+
+/// Worker-pool sizes every run must agree across.
+const THREADS: [usize; 3] = [1, 4, 16];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn chaos_telemetry_is_bit_identical_across_thread_counts(
+        seed in 0u64..=u64::MAX / 2,
+        intensity_pct in 0u32..=100,
+    ) {
+        heteromap_obs::set_metrics_enabled(true);
+        let plan = ChaosPlan::smoke(seed, f64::from(intensity_pct) / 100.0);
+        let runner = ChaosRunner::new(plan, true);
+        let runs: Vec<_> = THREADS.iter().map(|&t| runner.run_telemetry(t)).collect();
+        // Observing must not perturb the run itself.
+        prop_assert_eq!(runs[0].report.digest, runner.run(1).digest);
+        for run in &runs[1..] {
+            prop_assert_eq!(run.report.digest, runs[0].report.digest);
+            prop_assert_eq!(&run.flagged_episodes, &runs[0].flagged_episodes);
+            prop_assert_eq!(&run.faulty_episodes, &runs[0].faulty_episodes);
+            prop_assert_eq!(&run.signals, &runs[0].signals);
+            prop_assert_eq!(run.prometheus_text(), runs[0].prometheus_text());
+        }
+    }
+
+    #[test]
+    fn fleet_drift_verdicts_are_bit_identical_across_thread_counts(
+        seed in 0u64..=u64::MAX / 2,
+        intensity_pct in 0u32..=100,
+        devices_per_spec in 1usize..=2,
+    ) {
+        heteromap_obs::set_metrics_enabled(true);
+        let sim = FleetSim::new(
+            FleetTrace::smoke(seed, f64::from(intensity_pct) / 100.0),
+            Cluster::uniform(devices_per_spec),
+            Placer::Greedy,
+        );
+        let reports: Vec<_> = THREADS.iter().map(|&t| sim.run(t)).collect();
+        for report in &reports[1..] {
+            prop_assert_eq!(report.digest, reports[0].digest);
+            prop_assert_eq!(report.drift_signals, reports[0].drift_signals);
+        }
+    }
+}

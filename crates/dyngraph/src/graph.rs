@@ -1,0 +1,366 @@
+//! The mutable graph: seeded, batched edge deltas over sorted adjacency
+//! rows, with the degree-derived statistics maintained *incrementally*.
+//!
+//! The structural counters (degree histogram, edge count, max degree) live
+//! in [`IncrementalStats`] and are updated O(1) per delta; the diameter —
+//! the one statistic that is not a pure function of degrees — is obtained
+//! by running the *same* double-sweep BFS the batch path runs, over the
+//! same ascending neighbor order ([`DynGraph`] implements
+//! [`AdjacencySource`]). That shared code path is what makes
+//! [`DynGraph::stats`] bit-identical to `GraphStats::measure` on the
+//! materialized CSR, a property the proptests in `tests/` enforce over
+//! random delta sequences.
+
+use heteromap_graph::{
+    AdjacencySource, CsrGraph, EdgeList, GraphStats, IncrementalStats, VertexId,
+};
+
+/// One edge mutation. Batches of these are the unit of streaming ingest.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Delta {
+    /// Insert a directed edge (or update its weight if already present).
+    Insert {
+        /// Source vertex.
+        src: VertexId,
+        /// Target vertex.
+        dst: VertexId,
+        /// Edge weight.
+        weight: f32,
+    },
+    /// Delete a directed edge (a no-op if absent).
+    Delete {
+        /// Source vertex.
+        src: VertexId,
+        /// Target vertex.
+        dst: VertexId,
+    },
+}
+
+/// An ordered batch of [`Delta`]s applied atomically between kernel epochs.
+///
+/// An *empty* batch is meaningful: it marks a calm epoch in a
+/// [`DynRunner`](crate::DynRunner) trace — the kernel runs, the signals are
+/// observed, but the graph does not change.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DeltaBatch {
+    deltas: Vec<Delta>,
+}
+
+impl DeltaBatch {
+    /// An empty (calm-epoch) batch.
+    pub fn new() -> Self {
+        DeltaBatch::default()
+    }
+
+    /// Builder: appends an insert.
+    pub fn insert(mut self, src: VertexId, dst: VertexId, weight: f32) -> Self {
+        self.deltas.push(Delta::Insert { src, dst, weight });
+        self
+    }
+
+    /// Builder: appends a delete.
+    pub fn delete(mut self, src: VertexId, dst: VertexId) -> Self {
+        self.deltas.push(Delta::Delete { src, dst });
+        self
+    }
+
+    /// Appends one delta in place.
+    pub fn push(&mut self, delta: Delta) {
+        self.deltas.push(delta);
+    }
+
+    /// A batch of inserts from generator output (e.g.
+    /// `heteromap_graph::gen::Densifying::batch`).
+    pub fn from_edges(edges: &[(VertexId, VertexId, f32)]) -> Self {
+        DeltaBatch {
+            deltas: edges
+                .iter()
+                .map(|&(src, dst, weight)| Delta::Insert { src, dst, weight })
+                .collect(),
+        }
+    }
+
+    /// Number of deltas in the batch.
+    pub fn len(&self) -> usize {
+        self.deltas.len()
+    }
+
+    /// Whether this is a calm-epoch marker.
+    pub fn is_empty(&self) -> bool {
+        self.deltas.is_empty()
+    }
+
+    /// The deltas in application order.
+    pub fn deltas(&self) -> &[Delta] {
+        &self.deltas
+    }
+}
+
+/// What applying a [`DeltaBatch`] actually changed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchEffect {
+    /// Edges newly inserted.
+    pub inserted: usize,
+    /// Edges removed.
+    pub deleted: usize,
+    /// Existing edges whose weight was overwritten (structure unchanged).
+    pub updated: usize,
+}
+
+/// A mutable directed graph with sorted adjacency rows and incrementally
+/// maintained statistics.
+///
+/// Rows are kept in ascending target order (the [`CsrGraph`] invariant), so
+/// [`DynGraph::to_csr`] materializes a CSR whose neighbor layout is
+/// *identical* to rebuilding from scratch — and every degree-derived
+/// statistic is served from O(1)-maintained counters rather than a full
+/// rescan.
+///
+/// Self-loops are rejected (mirroring `EdgeList::dedup`, which strips them
+/// before CSR construction), and inserting an existing edge updates its
+/// weight in place — the same first-writer-wins end state a dedup'd rebuild
+/// reaches when all weights agree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DynGraph {
+    targets: Vec<Vec<VertexId>>,
+    weights: Vec<Vec<f32>>,
+    counters: IncrementalStats,
+}
+
+impl DynGraph {
+    /// An edgeless graph over `vertices` vertices.
+    pub fn new(vertices: usize) -> Self {
+        DynGraph {
+            targets: vec![Vec::new(); vertices],
+            weights: vec![Vec::new(); vertices],
+            counters: IncrementalStats::new(vertices),
+        }
+    }
+
+    /// Adopts a static snapshot as the mutable starting point.
+    pub fn from_csr(graph: &CsrGraph) -> Self {
+        let n = graph.vertex_count();
+        let mut targets = Vec::with_capacity(n);
+        let mut weights = Vec::with_capacity(n);
+        let mut degrees = Vec::with_capacity(n);
+        for v in 0..n {
+            let row = graph.neighbors(v as VertexId);
+            targets.push(row.to_vec());
+            weights.push(graph.weights(v as VertexId).to_vec());
+            degrees.push(row.len() as u32);
+        }
+        DynGraph {
+            targets,
+            weights,
+            counters: IncrementalStats::from_degrees(degrees),
+        }
+    }
+
+    /// Number of vertices (fixed at construction).
+    pub fn vertex_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Current number of directed edges.
+    pub fn edge_count(&self) -> u64 {
+        self.counters.edge_count()
+    }
+
+    /// Out-degree of `v`.
+    pub fn out_degree(&self, v: VertexId) -> usize {
+        self.targets[v as usize].len()
+    }
+
+    /// Out-neighbors of `v` in ascending order.
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.targets[v as usize]
+    }
+
+    /// Edge weights of `v`, parallel to [`DynGraph::neighbors`].
+    pub fn edge_weights(&self, v: VertexId) -> &[f32] {
+        &self.weights[v as usize]
+    }
+
+    /// Inserts `src -> dst`; returns `true` if the edge is new, `false` if
+    /// it already existed (weight updated in place) or is a self-loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of bounds.
+    pub fn insert_edge(&mut self, src: VertexId, dst: VertexId, weight: f32) -> bool {
+        let n = self.vertex_count();
+        assert!(
+            (src as usize) < n && (dst as usize) < n,
+            "edge ({src}, {dst}) out of bounds for {n} vertices"
+        );
+        if src == dst {
+            return false;
+        }
+        let row = &mut self.targets[src as usize];
+        match row.binary_search(&dst) {
+            Ok(i) => {
+                self.weights[src as usize][i] = weight;
+                false
+            }
+            Err(i) => {
+                row.insert(i, dst);
+                self.weights[src as usize].insert(i, weight);
+                self.counters.on_insert(src);
+                true
+            }
+        }
+    }
+
+    /// Deletes `src -> dst`; returns `true` if the edge existed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of bounds.
+    pub fn delete_edge(&mut self, src: VertexId, dst: VertexId) -> bool {
+        let n = self.vertex_count();
+        assert!(
+            (src as usize) < n && (dst as usize) < n,
+            "edge ({src}, {dst}) out of bounds for {n} vertices"
+        );
+        let row = &mut self.targets[src as usize];
+        match row.binary_search(&dst) {
+            Ok(i) => {
+                row.remove(i);
+                self.weights[src as usize].remove(i);
+                self.counters.on_delete(src);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Applies a batch in order and reports what changed.
+    pub fn apply(&mut self, batch: &DeltaBatch) -> BatchEffect {
+        let mut effect = BatchEffect::default();
+        for delta in batch.deltas() {
+            match *delta {
+                Delta::Insert { src, dst, weight } => {
+                    if self.insert_edge(src, dst, weight) {
+                        effect.inserted += 1;
+                    } else if src != dst {
+                        effect.updated += 1;
+                    }
+                }
+                Delta::Delete { src, dst } => {
+                    if self.delete_edge(src, dst) {
+                        effect.deleted += 1;
+                    }
+                }
+            }
+        }
+        effect
+    }
+
+    /// The incrementally maintained structural counters.
+    pub fn counters(&self) -> &IncrementalStats {
+        &self.counters
+    }
+
+    /// Full [`GraphStats`] — O(1) counters plus the shared double-sweep
+    /// diameter approximation over this graph's adjacency. Bit-identical to
+    /// `GraphStats::measure(&self.to_csr())`.
+    pub fn stats(&self) -> GraphStats {
+        self.counters.finalize(self)
+    }
+
+    /// Materializes an immutable CSR snapshot for kernel execution. Rows
+    /// are already sorted and duplicate-free, so the result is identical to
+    /// rebuilding from a dedup'd edge list.
+    pub fn to_csr(&self) -> CsrGraph {
+        let n = self.vertex_count();
+        let mut edges = EdgeList::with_capacity(n, self.counters.edge_count() as usize);
+        for v in 0..n {
+            for (i, &t) in self.targets[v].iter().enumerate() {
+                edges.push(v as VertexId, t, self.weights[v][i]);
+            }
+        }
+        edges.into_csr().expect("rows are sorted and in bounds")
+    }
+}
+
+impl AdjacencySource for DynGraph {
+    fn vertex_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    fn neighbors_of(&self, v: VertexId) -> &[VertexId] {
+        &self.targets[v as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_update_delete_roundtrip() {
+        let mut g = DynGraph::new(4);
+        assert!(g.insert_edge(0, 2, 1.0));
+        assert!(g.insert_edge(0, 1, 2.0));
+        assert!(!g.insert_edge(0, 2, 5.0), "duplicate updates in place");
+        assert_eq!(g.neighbors(0), &[1, 2], "rows stay sorted");
+        assert_eq!(g.edge_weights(0), &[2.0, 5.0]);
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.delete_edge(0, 1));
+        assert!(!g.delete_edge(0, 1), "double delete is a no-op");
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.counters().max_degree(), 1);
+    }
+
+    #[test]
+    fn self_loops_are_rejected() {
+        let mut g = DynGraph::new(3);
+        assert!(!g.insert_edge(1, 1, 1.0));
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn batch_effect_counts_each_kind() {
+        let mut g = DynGraph::new(5);
+        g.insert_edge(0, 1, 1.0);
+        let batch = DeltaBatch::new()
+            .insert(0, 2, 1.0) // new
+            .insert(0, 1, 9.0) // weight update
+            .delete(0, 1) // removal
+            .delete(3, 4); // absent: no-op
+        let effect = g.apply(&batch);
+        assert_eq!(
+            effect,
+            BatchEffect {
+                inserted: 1,
+                deleted: 1,
+                updated: 1
+            }
+        );
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn stats_match_full_recompute_on_a_hand_built_graph() {
+        let mut g = DynGraph::new(6);
+        for (s, d) in [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (0, 3), (5, 0)] {
+            g.insert_edge(s, d, 1.0);
+            g.insert_edge(d, s, 1.0);
+        }
+        g.delete_edge(0, 3);
+        let full = GraphStats::measure(&g.to_csr());
+        assert_eq!(g.stats(), full);
+    }
+
+    #[test]
+    fn from_csr_adopts_the_snapshot_exactly() {
+        let mut seed = DynGraph::new(5);
+        for (s, d, w) in [(0, 4, 1.5), (0, 2, 0.5), (2, 3, 2.0), (4, 0, 1.0)] {
+            seed.insert_edge(s, d, w);
+        }
+        let csr = seed.to_csr();
+        let adopted = DynGraph::from_csr(&csr);
+        assert_eq!(adopted, seed);
+        assert_eq!(adopted.stats(), GraphStats::measure(&csr));
+    }
+}

@@ -1,0 +1,34 @@
+//! Dynamic-graph engine: streaming mutations, incremental I-variables,
+//! and drift-triggered mid-run re-prediction.
+//!
+//! The paper predicts once, up front, from the input graph's I-variables.
+//! Real analytics inputs *mutate* — edges stream in, hubs form, density
+//! regimes shift — and a configuration that was right for the ingested
+//! snapshot can be badly wrong a few thousand deltas later. This crate
+//! closes that loop:
+//!
+//! * [`DynGraph`] — a mutable graph taking seeded, batched edge deltas
+//!   ([`DeltaBatch`]) with the degree-derived statistics maintained
+//!   incrementally, bit-identical to a full recompute (proptest-enforced);
+//! * [`DynRunner`] — a phase loop running kernel epochs between delta
+//!   batches, feeding frontier-density and per-worker-utilization signals
+//!   into the observability layer's drift detectors, and on a fired
+//!   [`HealthSignal`](heteromap_obs::metrics::HealthSignal) or an
+//!   I-variable threshold crossing, *re-predicting* mid-run through
+//!   `HeteroMap::predict_config` and *live-migrating* to the newly
+//!   predicted accelerator/M-configuration — with every switch charged
+//!   through the §V-A overhead model so the reported makespan is honest.
+//!
+//! See DESIGN.md §17 for the full flow; `exp_dynamic_adaptive` in
+//! `heteromap-bench` hard-gates adaptive-beats-static on a densifying
+//! trace.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod graph;
+mod runner;
+mod telemetry;
+
+pub use graph::{BatchEffect, Delta, DeltaBatch, DynGraph};
+pub use runner::{DynRunReport, DynRunner, DynRunnerConfig, EpochRecord, VIRTUAL_WORKERS};

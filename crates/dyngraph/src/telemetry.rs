@@ -1,0 +1,102 @@
+//! Gated metric recording for the dynamic engine, following the core
+//! crate's traced-twin discipline: callers check
+//! [`heteromap_obs::metrics_enabled`] (one relaxed load) and only then
+//! enter a `#[cold]` recorder whose series handle is resolved once through
+//! a `OnceLock`.
+//!
+//! The series names registered here are frozen by the Prometheus golden
+//! exposition test in `heteromap-obs` (`tests/golden/exposition.prom`):
+//! `dyn_repredictions_total{trigger="drift"|"ivar"}` and
+//! `dyn_migrations_total{to="multicore"|"gpu"}`.
+
+use heteromap_model::Accelerator;
+use heteromap_obs::metrics::{global, Counter};
+use std::sync::{Arc, OnceLock};
+
+/// Counts one mid-run re-prediction. `trigger` is `"drift"` (a
+/// [`HealthSignal`](heteromap_obs::metrics::HealthSignal) fired) or
+/// `"ivar"` (a quantized I-variable crossed the re-prediction threshold).
+#[cold]
+pub(crate) fn record_reprediction(trigger: &'static str) {
+    static DRIFT: OnceLock<Arc<Counter>> = OnceLock::new();
+    static IVAR: OnceLock<Arc<Counter>> = OnceLock::new();
+    let cell = match trigger {
+        "drift" => &DRIFT,
+        _ => &IVAR,
+    };
+    cell.get_or_init(|| {
+        global().counter(
+            "dyn_repredictions_total",
+            &[("trigger", trigger)],
+            "Mid-run re-predictions by trigger",
+        )
+    })
+    .inc();
+}
+
+/// Counts one live migration by destination accelerator.
+#[cold]
+pub(crate) fn record_migration(to: Accelerator) {
+    static GPU: OnceLock<Arc<Counter>> = OnceLock::new();
+    static MULTICORE: OnceLock<Arc<Counter>> = OnceLock::new();
+    let (cell, name) = match to {
+        Accelerator::Gpu => (&GPU, "gpu"),
+        Accelerator::Multicore => (&MULTICORE, "multicore"),
+    };
+    cell.get_or_init(|| {
+        global().counter(
+            "dyn_migrations_total",
+            &[("to", name)],
+            "Live migrations by destination accelerator",
+        )
+    })
+    .inc();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heteromap_obs::metrics::SeriesValue;
+
+    fn counter_value(name: &str, labels: &[(&str, &str)]) -> u64 {
+        global()
+            .snapshot()
+            .into_iter()
+            .find(|s| {
+                s.name == name
+                    && s.labels.len() == labels.len()
+                    && s.labels
+                        .iter()
+                        .zip(labels)
+                        .all(|(have, want)| have.0 == want.0 && have.1 == want.1)
+            })
+            .map(|s| match s.value {
+                SeriesValue::Counter(v) => v,
+                other => panic!("{name} is not a counter: {other:?}"),
+            })
+            .unwrap_or(0)
+    }
+
+    #[test]
+    fn recorders_register_the_frozen_series_names() {
+        let drift_before = counter_value("dyn_repredictions_total", &[("trigger", "drift")]);
+        let ivar_before = counter_value("dyn_repredictions_total", &[("trigger", "ivar")]);
+        let gpu_before = counter_value("dyn_migrations_total", &[("to", "gpu")]);
+        record_reprediction("drift");
+        record_reprediction("drift");
+        record_reprediction("ivar");
+        record_migration(Accelerator::Gpu);
+        assert_eq!(
+            counter_value("dyn_repredictions_total", &[("trigger", "drift")]),
+            drift_before + 2
+        );
+        assert_eq!(
+            counter_value("dyn_repredictions_total", &[("trigger", "ivar")]),
+            ivar_before + 1
+        );
+        assert_eq!(
+            counter_value("dyn_migrations_total", &[("to", "gpu")]),
+            gpu_before + 1
+        );
+    }
+}

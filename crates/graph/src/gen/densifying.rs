@@ -1,0 +1,187 @@
+//! Densifying delta-batch generator — the driving input of the dynamic
+//! graph engine.
+//!
+//! Real graph serving sees graphs that *densify*: road networks stay
+//! sparse, but social/interaction graphs accrete edges around hubs over
+//! time, pushing density (and the paper's `I` variables) across the
+//! decision-tree boundaries the predictor keyed on at deploy time. This
+//! generator produces that trajectory as a sequence of seeded edge
+//! batches: batch 0 lays a long sparse path skeleton (high diameter, max
+//! degree 2), and each later batch attaches edges preferentially to a
+//! small hub pool, shrinking the diameter and growing density and degree
+//! skew.
+
+use super::GraphGenerator;
+use crate::{CsrGraph, EdgeList, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Seeded batch schedule driving a graph from sparse to dense.
+///
+/// Every batch is a *pure function of `(seed, index)`* — replaying batches
+/// `0..k` always yields the same graph, no matter who applies them or in
+/// which process. All weights are 1.0 so that replay semantics that update
+/// a duplicate edge's weight in place agree bit-for-bit with edge-list
+/// deduplication that keeps the first occurrence.
+///
+/// # Example
+///
+/// ```
+/// use heteromap_graph::gen::{Densifying, GraphGenerator};
+///
+/// let gen = Densifying::new(500, 8, 300);
+/// let sparse = gen.batch(7, 0).len();    // path skeleton
+/// let g = gen.generate(7);               // all batches applied
+/// assert_eq!(g.vertex_count(), 500);
+/// assert!(g.edge_count() > sparse);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Densifying {
+    vertices: usize,
+    batches: usize,
+    batch_edges: usize,
+    hub_pool: usize,
+}
+
+impl Densifying {
+    /// Schedule over `vertices` vertices: one skeleton batch plus
+    /// `batches - 1` densification batches of `batch_edges` undirected
+    /// edges each, attached to a default hub pool of `vertices / 16`.
+    pub fn new(vertices: usize, batches: usize, batch_edges: usize) -> Self {
+        Densifying {
+            vertices,
+            batches,
+            batch_edges,
+            hub_pool: (vertices / 16).max(1),
+        }
+    }
+
+    /// Overrides the hub pool size. `1` concentrates every densification
+    /// edge on vertex 0 — a mega-hub burst that spikes the max degree.
+    pub fn with_hub_pool(mut self, hub_pool: usize) -> Self {
+        self.hub_pool = hub_pool.clamp(1, self.vertices.max(1));
+        self
+    }
+
+    /// Number of batches in the schedule (including the skeleton).
+    pub fn batches(&self) -> usize {
+        self.batches
+    }
+
+    /// Vertex count of every snapshot (deltas only touch edges).
+    pub fn vertices(&self) -> usize {
+        self.vertices
+    }
+
+    /// Directed edges of batch `index`, a pure function of
+    /// `(seed, index)`.
+    ///
+    /// Batch 0 is the path skeleton `0-1-...-(n-1)` in both directions;
+    /// batch `k >= 1` draws `batch_edges` undirected hub-attached edges
+    /// (each emitted in both directions) from an RNG seeded only by
+    /// `(seed, k)`. Self-loops are skipped, duplicates are allowed — the
+    /// consumer's insert semantics deduplicate.
+    pub fn batch(&self, seed: u64, index: usize) -> Vec<(VertexId, VertexId, f32)> {
+        let n = self.vertices;
+        if n < 2 {
+            return Vec::new();
+        }
+        let mut edges = Vec::new();
+        if index == 0 {
+            edges.reserve(2 * (n - 1));
+            for i in 0..n - 1 {
+                edges.push((i as VertexId, (i + 1) as VertexId, 1.0));
+                edges.push(((i + 1) as VertexId, i as VertexId, 1.0));
+            }
+            return edges;
+        }
+        let mut rng =
+            StdRng::seed_from_u64(seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        edges.reserve(2 * self.batch_edges);
+        for _ in 0..self.batch_edges {
+            let hub = rng.gen_range(0..self.hub_pool) as VertexId;
+            let other = rng.gen_range(0..n) as VertexId;
+            if hub == other {
+                continue;
+            }
+            edges.push((hub, other, 1.0));
+            edges.push((other, hub, 1.0));
+        }
+        edges
+    }
+}
+
+impl GraphGenerator for Densifying {
+    /// The final snapshot: all batches applied (batch-0 skeleton plus
+    /// every densification batch), duplicates resolved.
+    fn generate(&self, seed: u64) -> CsrGraph {
+        let mut el = EdgeList::new(self.vertices);
+        for k in 0..self.batches.max(1) {
+            for (src, dst, w) in self.batch(seed, k) {
+                el.push(src, dst, w);
+            }
+        }
+        el.dedup();
+        el.into_csr().expect("densifying ids are in range")
+    }
+
+    fn name(&self) -> &str {
+        "densifying"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_are_pure_functions_of_seed_and_index() {
+        let g = Densifying::new(300, 6, 150);
+        for k in 0..6 {
+            assert_eq!(g.batch(11, k), g.batch(11, k), "batch {k} not pure");
+        }
+        assert_ne!(g.batch(11, 2), g.batch(12, 2), "seed must matter");
+        assert_ne!(g.batch(11, 2), g.batch(11, 3), "index must matter");
+    }
+
+    #[test]
+    fn skeleton_is_a_path() {
+        let g = Densifying::new(100, 4, 50);
+        let skel = g.batch(0, 0);
+        assert_eq!(skel.len(), 2 * 99);
+        assert!(skel.iter().all(|&(_, _, w)| w == 1.0));
+    }
+
+    #[test]
+    fn schedule_densifies_the_graph() {
+        let g = Densifying::new(400, 10, 400);
+        let sparse = {
+            let mut el = EdgeList::new(400);
+            for (s, d, w) in g.batch(5, 0) {
+                el.push(s, d, w);
+            }
+            el.dedup();
+            el.into_csr().unwrap().stats()
+        };
+        let dense = g.generate(5).stats();
+        assert!(dense.average_degree() > 3.0 * sparse.average_degree());
+        assert!(dense.diameter < sparse.diameter);
+        assert!(dense.max_degree > sparse.max_degree);
+    }
+
+    #[test]
+    fn mega_hub_pool_spikes_max_degree() {
+        let base = Densifying::new(400, 6, 300).generate(9).stats();
+        let spiky = Densifying::new(400, 6, 300)
+            .with_hub_pool(1)
+            .generate(9)
+            .stats();
+        assert!(spiky.max_degree > 2 * base.max_degree);
+    }
+
+    #[test]
+    fn tiny_graphs_do_not_panic() {
+        assert_eq!(Densifying::new(1, 3, 10).generate(0).vertex_count(), 1);
+        assert_eq!(Densifying::new(0, 3, 10).generate(0).vertex_count(), 0);
+    }
+}

@@ -9,10 +9,13 @@
 //! * [`RMat`] — explicit R-MAT with tunable `(a, b, c, d)`,
 //! * [`Grid`] — 2-D lattice with long diameter, a road-network surrogate,
 //! * [`PowerLaw`] — preferential-attachment graph with heavy-tailed degrees,
-//!   a social-network surrogate.
+//!   a social-network surrogate,
+//! * [`Densifying`] — a seeded sparse→dense *batch schedule* for the
+//!   dynamic-graph engine (each batch a pure function of `(seed, index)`).
 //!
 //! All generators are deterministic given a seed.
 
+mod densifying;
 mod grid;
 mod kronecker;
 mod powerlaw;
@@ -20,6 +23,7 @@ mod rmat;
 mod smallworld;
 mod uniform;
 
+pub use densifying::Densifying;
 pub use grid::Grid;
 pub use kronecker::Kronecker;
 pub use powerlaw::PowerLaw;
@@ -54,6 +58,7 @@ mod tests {
             Box::new(Grid::new(10, 10)),
             Box::new(PowerLaw::new(200, 3)),
             Box::new(SmallWorld::new(200, 2, 0.1)),
+            Box::new(Densifying::new(200, 5, 120)),
         ];
         for g in &gens {
             let a = g.generate(7);

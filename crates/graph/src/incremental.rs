@@ -1,0 +1,227 @@
+//! Incrementally maintained graph statistics.
+//!
+//! The paper derives its `I` input variables from four structural
+//! quantities (`GraphStats`): vertex count, edge count, maximum
+//! out-degree, and diameter. A static pipeline measures them once with
+//! [`GraphStats::measure`]; a *dynamic* graph mutating under batched edge
+//! deltas cannot afford an `O(V + E)` rescan per batch. This module keeps
+//! the counting-based quantities — edge count, per-vertex degrees, the
+//! full out-degree histogram, and the maximum degree — exact under
+//! single-edge inserts and deletes in `O(1)` amortized per delta.
+//!
+//! Bit-identity contract: every quantity here is an integer counter, so
+//! "incremental" and "recomputed" can only ever disagree through a logic
+//! bug, never through floating-point drift. The one traversal-based
+//! statistic (diameter) is *not* maintained incrementally; instead
+//! [`IncrementalStats::finalize`] reruns the exact same double-sweep BFS
+//! ([`approximate_diameter`]) the static path uses, over the same
+//! [`AdjacencySource`] neighbor ordering. The property tests in
+//! `heteromap-dyngraph` drive random delta sequences and assert the
+//! composite [`GraphStats`] equals a from-scratch recompute bit for bit.
+
+use crate::stats::{approximate_diameter, AdjacencySource, GraphStats};
+use crate::VertexId;
+
+/// Exact, incrementally maintained degree/edge statistics.
+///
+/// The owner (e.g. `DynGraph`) is responsible for calling
+/// [`on_insert`](IncrementalStats::on_insert) /
+/// [`on_delete`](IncrementalStats::on_delete) exactly once per directed
+/// edge actually added or removed — *not* for weight updates of an edge
+/// that already exists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IncrementalStats {
+    /// Out-degree per vertex.
+    degrees: Vec<u32>,
+    /// `histogram[d]` = number of vertices with out-degree `d`. The vector
+    /// only grows; trailing zero buckets are harmless.
+    histogram: Vec<u64>,
+    /// Directed edge count.
+    edges: u64,
+    /// Maximum out-degree over all vertices.
+    max_degree: u32,
+}
+
+impl IncrementalStats {
+    /// Statistics of an edgeless graph with `vertices` vertices.
+    pub fn new(vertices: usize) -> Self {
+        IncrementalStats {
+            degrees: vec![0; vertices],
+            histogram: vec![vertices as u64],
+            edges: 0,
+            max_degree: 0,
+        }
+    }
+
+    /// Seeds the counters from known per-vertex out-degrees (the
+    /// `DynGraph::from_csr` path).
+    pub fn from_degrees(degrees: Vec<u32>) -> Self {
+        let max_degree = degrees.iter().copied().max().unwrap_or(0);
+        let mut histogram = vec![0u64; max_degree as usize + 1];
+        let mut edges = 0u64;
+        for &d in &degrees {
+            histogram[d as usize] += 1;
+            edges += u64::from(d);
+        }
+        IncrementalStats {
+            degrees,
+            histogram,
+            edges,
+            max_degree,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.degrees.len()
+    }
+
+    /// Number of directed edges.
+    pub fn edge_count(&self) -> u64 {
+        self.edges
+    }
+
+    /// Maximum out-degree.
+    pub fn max_degree(&self) -> u32 {
+        self.max_degree
+    }
+
+    /// Out-degree of `v`.
+    pub fn degree(&self, v: VertexId) -> u32 {
+        self.degrees[v as usize]
+    }
+
+    /// The full out-degree histogram: `histogram()[d]` vertices have
+    /// out-degree `d`. May carry trailing zero buckets after deletions.
+    pub fn histogram(&self) -> &[u64] {
+        &self.histogram
+    }
+
+    /// Average out-degree `E / V` (0.0 on an empty graph) — the density
+    /// proxy behind `I2`.
+    pub fn average_degree(&self) -> f64 {
+        if self.degrees.is_empty() {
+            0.0
+        } else {
+            self.edges as f64 / self.degrees.len() as f64
+        }
+    }
+
+    /// Accounts one new directed edge leaving `src`: moves `src` one
+    /// histogram bucket up and bumps the edge count and max degree.
+    pub fn on_insert(&mut self, src: VertexId) {
+        let d = self.degrees[src as usize] as usize;
+        self.histogram[d] -= 1;
+        if d + 1 >= self.histogram.len() {
+            self.histogram.resize(d + 2, 0);
+        }
+        self.histogram[d + 1] += 1;
+        self.degrees[src as usize] = (d + 1) as u32;
+        self.edges += 1;
+        self.max_degree = self.max_degree.max((d + 1) as u32);
+    }
+
+    /// Accounts one removed directed edge leaving `src`: moves `src` one
+    /// histogram bucket down and, when the top bucket empties, walks the
+    /// max degree down to the next occupied bucket.
+    pub fn on_delete(&mut self, src: VertexId) {
+        let d = self.degrees[src as usize] as usize;
+        assert!(d > 0, "delete from vertex {src} with no out-edges");
+        self.histogram[d] -= 1;
+        self.histogram[d - 1] += 1;
+        self.degrees[src as usize] = (d - 1) as u32;
+        self.edges -= 1;
+        while self.max_degree > 0 && self.histogram[self.max_degree as usize] == 0 {
+            self.max_degree -= 1;
+        }
+    }
+
+    /// Composes the counters with a diameter sweep over `adjacency` into
+    /// the same [`GraphStats`] that [`GraphStats::measure`] would produce
+    /// on a materialized snapshot — bit for bit, because the diameter runs
+    /// the identical [`approximate_diameter`] BFS.
+    pub fn finalize<G: AdjacencySource + ?Sized>(&self, adjacency: &G) -> GraphStats {
+        debug_assert_eq!(adjacency.vertex_count(), self.vertex_count());
+        let diameter = if self.degrees.is_empty() {
+            0
+        } else {
+            approximate_diameter(adjacency)
+        };
+        GraphStats {
+            vertices: self.degrees.len() as u64,
+            edges: self.edges,
+            max_degree: u64::from(self.max_degree),
+            diameter,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::CsrGraph;
+    use crate::edgelist::EdgeList;
+
+    fn stats_of(graph: &CsrGraph) -> IncrementalStats {
+        let degrees = (0..graph.vertex_count())
+            .map(|v| graph.out_degree(v as VertexId) as u32)
+            .collect();
+        IncrementalStats::from_degrees(degrees)
+    }
+
+    #[test]
+    fn seeded_counters_match_the_csr() {
+        let mut el = EdgeList::new(5);
+        el.push_undirected(0, 1, 1.0);
+        el.push_undirected(0, 2, 1.0);
+        el.push(3, 4, 1.0);
+        let g = el.into_csr().unwrap();
+        let inc = stats_of(&g);
+        assert_eq!(inc.edge_count(), g.edge_count() as u64);
+        assert_eq!(inc.max_degree(), g.max_degree() as u32);
+        assert_eq!(inc.finalize(&g), g.stats());
+    }
+
+    #[test]
+    fn insert_delete_round_trip_restores_the_histogram() {
+        let mut inc = IncrementalStats::new(4);
+        let baseline = inc.clone();
+        inc.on_insert(1);
+        inc.on_insert(1);
+        inc.on_insert(2);
+        assert_eq!(inc.max_degree(), 2);
+        assert_eq!(inc.edge_count(), 3);
+        assert_eq!(inc.histogram()[2], 1);
+        inc.on_delete(1);
+        inc.on_delete(1);
+        inc.on_delete(2);
+        assert_eq!(inc.edge_count(), baseline.edge_count());
+        assert_eq!(inc.max_degree(), 0);
+        assert_eq!(inc.degree(1), 0);
+        // Histogram may keep trailing zero buckets; occupied buckets agree.
+        assert_eq!(inc.histogram()[0], 4);
+    }
+
+    #[test]
+    fn max_degree_walks_down_over_empty_buckets() {
+        let mut inc = IncrementalStats::new(3);
+        for _ in 0..5 {
+            inc.on_insert(0);
+        }
+        inc.on_insert(1);
+        assert_eq!(inc.max_degree(), 5);
+        for _ in 0..5 {
+            inc.on_delete(0);
+        }
+        // Bucket 5..=2 are empty now: the max must land on vertex 1's 1.
+        assert_eq!(inc.max_degree(), 1);
+    }
+
+    #[test]
+    fn empty_graph_finalizes_to_zeroes() {
+        let inc = IncrementalStats::new(0);
+        let g = EdgeList::new(0).into_csr().unwrap();
+        let s = inc.finalize(&g);
+        assert_eq!(s, GraphStats::from_known(0, 0, 0, 0));
+    }
+}

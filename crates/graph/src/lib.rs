@@ -7,7 +7,9 @@
 //! * synthetic graph generators (uniform random, Kronecker, R-MAT, road-like
 //!   grids, power-law social graphs) in [`gen`],
 //! * structural statistics ([`GraphStats`]) including an approximate diameter,
-//!   which feed the paper's `I` input variables,
+//!   which feed the paper's `I` input variables, plus incrementally
+//!   maintained counters ([`IncrementalStats`]) for graphs mutating under
+//!   edge deltas,
 //! * the paper's Table I dataset registry ([`datasets`]) with scaled-down
 //!   structural surrogates for host execution,
 //! * Stinger-like chunk streaming ([`stream`]) for graphs larger than an
@@ -33,6 +35,7 @@ pub mod csr;
 pub mod datasets;
 pub mod edgelist;
 pub mod gen;
+pub mod incremental;
 pub mod io;
 pub mod partition;
 pub mod stats;
@@ -40,7 +43,8 @@ pub mod stream;
 
 pub use csr::CsrGraph;
 pub use edgelist::EdgeList;
-pub use stats::GraphStats;
+pub use incremental::IncrementalStats;
+pub use stats::{AdjacencySource, GraphStats};
 
 use std::error::Error;
 use std::fmt;

@@ -77,9 +77,31 @@ impl GraphStats {
     }
 }
 
+/// Read-only adjacency view shared by every structure the stats code
+/// traverses. [`CsrGraph`] implements it, and so does the dynamic graph in
+/// `heteromap-dyngraph` — which is what makes the incrementally maintained
+/// statistics *bit-identical* to a full recompute: both run the very same
+/// BFS over the very same neighbor ordering.
+pub trait AdjacencySource {
+    /// Number of vertices.
+    fn vertex_count(&self) -> usize;
+    /// Out-neighbors of `v` in ascending order.
+    fn neighbors_of(&self, v: VertexId) -> &[VertexId];
+}
+
+impl AdjacencySource for CsrGraph {
+    fn vertex_count(&self) -> usize {
+        CsrGraph::vertex_count(self)
+    }
+
+    fn neighbors_of(&self, v: VertexId) -> &[VertexId] {
+        self.neighbors(v)
+    }
+}
+
 /// BFS from `src` returning `(distances, farthest_vertex, eccentricity)`.
 /// Distance `u32::MAX` marks unreachable vertices.
-fn bfs_eccentricity(graph: &CsrGraph, src: VertexId) -> (VertexId, u32) {
+fn bfs_eccentricity<G: AdjacencySource + ?Sized>(graph: &G, src: VertexId) -> (VertexId, u32) {
     let n = graph.vertex_count();
     let mut dist = vec![u32::MAX; n];
     let mut queue = VecDeque::new();
@@ -93,7 +115,7 @@ fn bfs_eccentricity(graph: &CsrGraph, src: VertexId) -> (VertexId, u32) {
             ecc = d;
             farthest = v;
         }
-        for &t in graph.neighbors(v) {
+        for &t in graph.neighbors_of(v) {
             if dist[t as usize] == u32::MAX {
                 dist[t as usize] = d + 1;
                 queue.push_back(t);
@@ -104,7 +126,12 @@ fn bfs_eccentricity(graph: &CsrGraph, src: VertexId) -> (VertexId, u32) {
 }
 
 /// Double-sweep diameter approximation with a handful of restarts.
-fn approximate_diameter(graph: &CsrGraph) -> u64 {
+///
+/// Public so that any [`AdjacencySource`] (notably the mutable graph of
+/// `heteromap-dyngraph`) can reuse the exact BFS the static path uses —
+/// the seeds, sweep order, and tie-breaks are part of the contract that
+/// keeps incremental statistics bit-identical to [`GraphStats::measure`].
+pub fn approximate_diameter<G: AdjacencySource + ?Sized>(graph: &G) -> u64 {
     let n = graph.vertex_count();
     let seeds: [usize; 4] = [0, n / 3, n / 2, (2 * n) / 3];
     let mut best = 0u32;

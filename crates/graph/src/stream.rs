@@ -8,6 +8,7 @@
 //! temporal order, and reports per-chunk statistics so the prediction
 //! paradigm can pick per-chunk `M` configurations.
 
+use crate::incremental::IncrementalStats;
 use crate::partition::{partition_by_edges, VertexRange};
 use crate::stats::GraphStats;
 use crate::{CsrGraph, GraphError};
@@ -84,7 +85,21 @@ impl<'g> GraphStream<'g> {
             chunk_count: self.ranges.len(),
         })?;
         let graph = self.source.vertex_range_subgraph(range.start, range.end);
-        let stats = graph.stats();
+        // Chunk statistics ride the incremental path: the counting-based
+        // quantities are accumulated delta-by-delta from the source
+        // adjacency (one `on_insert` per surviving in-range edge) instead
+        // of rescanning the materialized subgraph, and `finalize` runs the
+        // shared diameter sweep. Bit-identical to `graph.stats()` — the
+        // regression test below pins that.
+        let mut inc = IncrementalStats::new(graph.vertex_count());
+        for v in range.start..range.end {
+            for &t in self.source.neighbors(v) {
+                if t >= range.start && t < range.end {
+                    inc.on_insert(v - range.start);
+                }
+            }
+        }
+        let stats = inc.finalize(&graph);
         Ok(GraphChunk {
             index,
             range,
@@ -144,6 +159,33 @@ mod tests {
         for c in s.iter() {
             assert_eq!(c.stats.vertices as usize, c.graph.vertex_count());
             assert_eq!(c.stats.edges as usize, c.graph.edge_count());
+        }
+    }
+
+    #[test]
+    fn incremental_chunk_stats_match_full_recompute() {
+        // Regression: the incremental per-chunk statistics path must be
+        // bit-identical to measuring the materialized subgraph from
+        // scratch, across sparse, meshy, and heavy-tailed chunk shapes.
+        use crate::gen::{Densifying, PowerLaw};
+        let graphs: Vec<CsrGraph> = vec![
+            UniformRandom::new(300, 2_000).generate(1),
+            Grid::new(12, 9).generate(0),
+            PowerLaw::new(250, 3).generate(3),
+            Densifying::new(200, 6, 150).generate(8),
+        ];
+        for g in &graphs {
+            for budget in [64, 500, usize::MAX / 2] {
+                let s = GraphStream::with_edge_budget(g, budget);
+                for c in s.iter() {
+                    assert_eq!(
+                        c.stats,
+                        GraphStats::measure(&c.graph),
+                        "chunk {} stats drifted from full recompute",
+                        c.index
+                    );
+                }
+            }
         }
     }
 

@@ -1,0 +1,131 @@
+//! k-core decomposition — synchronous peeling waves (B4 push-pop
+//! frontier + B5 degree reduction over B10 read-write shared counters),
+//! the second GARDENIA widening of the benchmark space.
+//!
+//! Peels vertices level by level: at level `k`, every remaining vertex
+//! whose remaining out-degree is `<= k` is removed in a wave (its core
+//! number is `k`), decrementing the remaining degree of its in-neighbors;
+//! waves repeat at the same level until a fixpoint, then `k` advances.
+//! The level-`k` fixpoint is unique (peeling is confluent), so the core
+//! numbers are bit-identical for every thread count, scheduler, and wave
+//! interleaving — only *when* a vertex is removed within a level can
+//! race, never *at which level*.
+
+use crate::par::Scheduler;
+use heteromap_graph::{CsrGraph, VertexId};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+
+/// Core number of every vertex with [`Scheduler::Static`].
+pub fn kcore(graph: &CsrGraph, threads: usize) -> Vec<u32> {
+    kcore_with(graph, threads, Scheduler::Static)
+}
+
+/// [`kcore`] with an explicit work-distribution policy.
+pub fn kcore_with(graph: &CsrGraph, threads: usize, scheduler: Scheduler) -> Vec<u32> {
+    let n = graph.vertex_count();
+    if n == 0 {
+        return Vec::new();
+    }
+    let transpose = graph.transpose_cached();
+    let deg: Vec<AtomicU32> = (0..n)
+        .map(|v| AtomicU32::new(graph.out_degree(v as VertexId) as u32))
+        .collect();
+    let alive: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(true)).collect();
+    let core: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+    let mut remaining = n;
+    let mut k = 0u32;
+    while remaining > 0 {
+        // Waves at level k until the fixpoint: removing a vertex can drag
+        // an in-neighbor's remaining degree down to k as well.
+        loop {
+            let removed = AtomicUsize::new(0);
+            scheduler.for_each(n, threads, |range| {
+                let mut local = 0usize;
+                for v in range {
+                    if alive[v].load(Ordering::Acquire) && deg[v].load(Ordering::Acquire) <= k {
+                        alive[v].store(false, Ordering::Release);
+                        core[v].store(k, Ordering::Relaxed);
+                        local += 1;
+                        for &u in transpose.neighbors(v as VertexId) {
+                            // Saturating: a same-wave-removed neighbor's
+                            // counter is dead and must not underflow.
+                            let _ = deg[u as usize].fetch_update(
+                                Ordering::AcqRel,
+                                Ordering::Acquire,
+                                |d| Some(d.saturating_sub(1)),
+                            );
+                        }
+                    }
+                }
+                if local > 0 {
+                    removed.fetch_add(local, Ordering::Relaxed);
+                }
+            });
+            let wave = removed.load(Ordering::Relaxed);
+            if wave == 0 {
+                break;
+            }
+            remaining -= wave;
+        }
+        k += 1;
+    }
+    core.into_iter().map(AtomicU32::into_inner).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::kcore_seq;
+    use heteromap_graph::gen::{GraphGenerator, PowerLaw, UniformRandom};
+    use heteromap_graph::EdgeList;
+
+    #[test]
+    fn star_is_a_one_core() {
+        let mut el = EdgeList::new(6);
+        for i in 1..6 {
+            el.push_undirected(0, i, 1.0);
+        }
+        let g = el.into_csr().unwrap();
+        assert_eq!(kcore(&g, 4), vec![1; 6]);
+    }
+
+    #[test]
+    fn clique_core_is_degree() {
+        // K4 (undirected): every vertex sits in the 3-core.
+        let mut el = EdgeList::new(4);
+        for a in 0..4u32 {
+            for b in (a + 1)..4u32 {
+                el.push_undirected(a, b, 1.0);
+            }
+        }
+        let g = el.into_csr().unwrap();
+        assert_eq!(kcore(&g, 2), vec![3; 4]);
+    }
+
+    #[test]
+    fn isolated_vertices_are_zero_core() {
+        let g = EdgeList::new(3).into_csr().unwrap();
+        assert_eq!(kcore(&g, 2), vec![0; 3]);
+    }
+
+    #[test]
+    fn matches_sequential_reference_bit_for_bit() {
+        for seed in 0..3 {
+            let g = UniformRandom::new(250, 1_800).generate(seed);
+            let reference = kcore_seq(&g);
+            for threads in [1, 4, 16] {
+                assert_eq!(kcore(&g, threads), reference, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn scheduler_invariant_on_skewed_graphs() {
+        let g = PowerLaw::new(350, 4).generate(1);
+        let reference = kcore_seq(&g);
+        assert_eq!(
+            kcore_with(&g, 8, Scheduler::Dynamic { grain: 16 }),
+            reference
+        );
+    }
+}

@@ -15,6 +15,9 @@
 //! * [`triangle`] — triangle counting by sorted intersection,
 //! * [`conncomp`] — connected components by label propagation,
 //! * [`community`] — community detection by label propagation,
+//! * [`spmv`] / [`kcore`] / [`labelprop`] — the GARDENIA widening of the
+//!   benchmark space (sparse matrix–vector multiply, k-core peeling,
+//!   push-direction label propagation),
 //! * [`verify`] — sequential reference implementations used in tests,
 //! * [`runner`] — uniform dispatch used by examples and benches.
 //!
@@ -30,11 +33,14 @@ pub mod community;
 pub mod conncomp;
 pub mod dfs;
 pub mod frontier;
+pub mod kcore;
+pub mod labelprop;
 pub mod pagerank;
 pub mod pagerank_dp;
 pub mod par;
 pub mod pool;
 pub mod runner;
+pub mod spmv;
 pub mod sssp_bf;
 pub mod sssp_delta;
 pub mod triangle;

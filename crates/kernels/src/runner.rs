@@ -1,7 +1,10 @@
 //! Uniform kernel dispatch used by examples, tests and benches.
 
 use crate::par::{ExecEngine, Scheduler};
-use crate::{bfs, community, conncomp, dfs, pagerank, pagerank_dp, sssp_bf, sssp_delta, triangle};
+use crate::{
+    bfs, community, conncomp, dfs, kcore, labelprop, pagerank, pagerank_dp, spmv, sssp_bf,
+    sssp_delta, triangle,
+};
 use heteromap_graph::{CsrGraph, VertexId};
 use heteromap_model::mconfig::DeployLimits;
 use heteromap_model::{MConfig, OmpSchedule, Workload};
@@ -53,7 +56,8 @@ pub struct KernelRun {
     pub threads: usize,
 }
 
-/// Dispatches the paper's nine workloads onto the real kernel
+/// Dispatches the paper's nine workloads — plus the GARDENIA extensions
+/// (SpMV, k-core, label propagation) — onto the real kernel
 /// implementations.
 ///
 /// Every run executes on the process-wide persistent
@@ -163,6 +167,13 @@ impl KernelRunner {
         self
     }
 
+    /// Sets label-propagation sweeps for the `Community` and `LabelProp`
+    /// workloads (default 10).
+    pub fn with_community_iterations(mut self, iterations: u32) -> Self {
+        self.community_iterations = iterations;
+        self
+    }
+
     /// Sets the Δ-stepping bucket width (default 4.0).
     pub fn with_delta(mut self, delta: f32) -> Self {
         self.delta = delta;
@@ -248,6 +259,20 @@ impl KernelRunner {
             Workload::ConnComp => {
                 KernelOutput::Labels(conncomp::conncomp_with(graph, self.threads, self.scheduler))
             }
+            Workload::Spmv => KernelOutput::Distances(spmv::spmv_with(
+                graph,
+                &spmv_input(graph.vertex_count()),
+                self.threads,
+                self.scheduler,
+            )),
+            Workload::KCore => {
+                KernelOutput::Labels(kcore::kcore_with(graph, self.threads, self.scheduler))
+            }
+            Workload::LabelProp => KernelOutput::Labels(labelprop::labelprop(
+                graph,
+                self.community_iterations,
+                self.threads,
+            )),
             // `Workload` is non_exhaustive; future variants fail loudly.
             #[allow(unreachable_patterns)]
             other => unimplemented!("no kernel for {other}"),
@@ -268,9 +293,18 @@ fn workload_name(workload: Workload) -> &'static str {
         Workload::TriangleCount => "triangle_count",
         Workload::Community => "community",
         Workload::ConnComp => "conncomp",
+        Workload::Spmv => "spmv",
+        Workload::KCore => "kcore",
+        Workload::LabelProp => "labelprop",
         #[allow(unreachable_patterns)]
         _ => "kernel",
     }
+}
+
+/// The runner's fixed SpMV input vector: a deterministic, non-constant
+/// pattern so checksums are sensitive to row permutations.
+fn spmv_input(n: usize) -> Vec<f32> {
+    (0..n).map(|i| 1.0 + (i % 7) as f32 * 0.25).collect()
 }
 
 #[cfg(test)]
@@ -285,6 +319,22 @@ mod tests {
         for w in Workload::all() {
             let run = runner.run(w, &g);
             assert!(run.output.checksum().is_finite(), "{w}");
+        }
+    }
+
+    #[test]
+    fn runs_the_extended_workload_set() {
+        let g = UniformRandom::new(200, 1_200).generate(1);
+        let runner = KernelRunner::new(4);
+        for w in Workload::extended() {
+            let run = runner.run(w, &g);
+            assert!(run.output.checksum().is_finite(), "{w}");
+        }
+        // The GARDENIA kernels are deterministic across thread counts, so
+        // their checksums must agree bit-for-bit between runners.
+        for w in [Workload::Spmv, Workload::KCore, Workload::LabelProp] {
+            let one = KernelRunner::new(1).run(w, &g).output;
+            assert_eq!(KernelRunner::new(8).run(w, &g).output, one, "{w}");
         }
     }
 

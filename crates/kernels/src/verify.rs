@@ -163,6 +163,89 @@ pub fn conncomp_seq(graph: &CsrGraph) -> Vec<u32> {
     (0..n as u32).map(|v| find(&mut parent, v)).collect()
 }
 
+/// Sequential sparse matrix–vector multiply over the CSR adjacency:
+/// `y[v] = Σ w(v,t) · x[t]`, accumulating in CSR edge order (the same
+/// order the parallel kernel uses, so results are bit-identical).
+pub fn spmv_seq(graph: &CsrGraph, x: &[f32]) -> Vec<f32> {
+    let n = graph.vertex_count();
+    assert_eq!(x.len(), n, "input vector length must match vertex count");
+    (0..n as VertexId)
+        .map(|v| {
+            let mut sum = 0.0f32;
+            for (t, w) in graph.edges(v) {
+                sum += w * x[t as usize];
+            }
+            sum
+        })
+        .collect()
+}
+
+/// Sequential k-core decomposition by textbook peeling: at level `k`,
+/// repeatedly remove every remaining vertex of remaining out-degree
+/// `<= k` (decrementing its in-neighbors) until a fixpoint, then advance
+/// `k`. The peeling fixpoint is unique, so this matches the parallel
+/// wave-based kernel bit for bit.
+pub fn kcore_seq(graph: &CsrGraph) -> Vec<u32> {
+    let n = graph.vertex_count();
+    let transpose = graph.transpose();
+    let mut deg: Vec<u32> = (0..n)
+        .map(|v| graph.out_degree(v as VertexId) as u32)
+        .collect();
+    let mut alive = vec![true; n];
+    let mut core = vec![0u32; n];
+    let mut remaining = n;
+    let mut k = 0u32;
+    while remaining > 0 {
+        loop {
+            let wave: Vec<usize> = (0..n).filter(|&v| alive[v] && deg[v] <= k).collect();
+            if wave.is_empty() {
+                break;
+            }
+            for &v in &wave {
+                alive[v] = false;
+                core[v] = k;
+                for &u in transpose.neighbors(v as VertexId) {
+                    deg[u as usize] = deg[u as usize].saturating_sub(1);
+                }
+            }
+            remaining -= wave.len();
+        }
+        k += 1;
+    }
+    core
+}
+
+/// Sequential push-direction weighted label propagation: each round every
+/// vertex adopts the label with the largest total in-edge weight (ties
+/// toward the smaller label), updating synchronously.
+pub fn labelprop_seq(graph: &CsrGraph, iterations: u32) -> Vec<u32> {
+    let n = graph.vertex_count();
+    let mut labels: Vec<u32> = (0..n as u32).collect();
+    if n == 0 {
+        return labels;
+    }
+    let transpose = graph.transpose();
+    for _ in 0..iterations {
+        let mut next = labels.clone();
+        for (v, nx) in next.iter_mut().enumerate() {
+            let mut votes: std::collections::HashMap<u32, f32> = std::collections::HashMap::new();
+            for (u, w) in transpose.edges(v as VertexId) {
+                *votes.entry(labels[u as usize]).or_insert(0.0) += w;
+            }
+            let current = labels[v];
+            let mut best = (current, f32::NEG_INFINITY);
+            for (&label, &weight) in &votes {
+                if weight > best.1 || (weight == best.1 && label < best.0) {
+                    best = (label, weight);
+                }
+            }
+            *nx = if votes.is_empty() { current } else { best.0 };
+        }
+        labels = next;
+    }
+    labels
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -227,6 +310,35 @@ mod tests {
         el.push_undirected(0, 2, 1.0);
         let g = el.into_csr().unwrap();
         assert_eq!(triangle_seq(&g), 1);
+    }
+
+    #[test]
+    fn spmv_seq_by_hand() {
+        let y = spmv_seq(&diamond(), &[1.0, 2.0, 3.0, 4.0]);
+        // Row 0: 1*x1 + 4*x2; rows 1,2: edge to 3; row 3: empty.
+        assert_eq!(y, vec![2.0 + 12.0, 4.0, 4.0, 0.0]);
+    }
+
+    #[test]
+    fn kcore_seq_peels_a_lollipop() {
+        // Triangle 0-1-2 with a tail 2-3: tail is 1-core, triangle 2-core.
+        let mut el = EdgeList::new(4);
+        el.push_undirected(0, 1, 1.0);
+        el.push_undirected(1, 2, 1.0);
+        el.push_undirected(0, 2, 1.0);
+        el.push_undirected(2, 3, 1.0);
+        let g = el.into_csr().unwrap();
+        assert_eq!(kcore_seq(&g), vec![2, 2, 2, 1]);
+    }
+
+    #[test]
+    fn labelprop_seq_ties_break_to_smaller_label() {
+        // 1 and 2 push at 3 with equal weight: 3 adopts the smaller label.
+        let mut el = EdgeList::new(4);
+        el.push(1, 3, 1.0);
+        el.push(2, 3, 1.0);
+        let g = el.into_csr().unwrap();
+        assert_eq!(labelprop_seq(&g, 1)[3], 1);
     }
 
     #[test]

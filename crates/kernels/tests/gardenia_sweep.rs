@@ -1,0 +1,63 @@
+//! The 81-combo validation sweep for the GARDENIA kernels.
+//!
+//! 3 new kernels (SpMV, k-core, label propagation) × 9 generated graphs ×
+//! 3 thread counts (1, 4, 16) = 81 combinations, each asserted
+//! *bit-identical* to its sequential scalar reference. This is the
+//! kernel-side half of the dynamic engine's determinism story: the
+//! resolution digests of `exp_dynamic_adaptive` can only be bit-identical
+//! across thread counts if the kernels underneath are.
+
+use heteromap_graph::gen::{
+    Densifying, GraphGenerator, Grid, Kronecker, PowerLaw, RMat, SmallWorld, UniformRandom,
+};
+use heteromap_graph::CsrGraph;
+use heteromap_kernels::verify::{kcore_seq, labelprop_seq, spmv_seq};
+use heteromap_kernels::{kcore::kcore, labelprop::labelprop, spmv::spmv};
+
+const THREADS: [usize; 3] = [1, 4, 16];
+const LP_ITERATIONS: u32 = 8;
+
+fn nine_graphs() -> Vec<(String, CsrGraph)> {
+    let gens: Vec<(Box<dyn GraphGenerator>, u64)> = vec![
+        (Box::new(UniformRandom::new(300, 2_000)), 1),
+        (Box::new(UniformRandom::new(120, 300)), 2),
+        (Box::new(Kronecker::new(7, 5.0)), 3),
+        (Box::new(RMat::new(7, 4.0, 0.57, 0.19, 0.19)), 4),
+        (Box::new(Grid::new(15, 12)), 5),
+        (Box::new(PowerLaw::new(280, 4)), 6),
+        (Box::new(SmallWorld::new(260, 3, 0.1)), 7),
+        (Box::new(Densifying::new(240, 5, 180)), 8),
+        (Box::new(Densifying::new(240, 8, 260).with_hub_pool(1)), 9),
+    ];
+    gens.into_iter()
+        .map(|(g, seed)| (format!("{}#{seed}", g.name()), g.generate(seed)))
+        .collect()
+}
+
+fn spmv_x(n: usize) -> Vec<f32> {
+    (0..n).map(|i| 1.0 + (i % 7) as f32 * 0.25).collect()
+}
+
+#[test]
+fn gardenia_kernels_match_scalar_references_on_81_combos() {
+    let graphs = nine_graphs();
+    assert_eq!(graphs.len(), 9);
+    let mut combos = 0usize;
+    for (name, g) in &graphs {
+        let x = spmv_x(g.vertex_count());
+        let spmv_ref = spmv_seq(g, &x);
+        let kcore_ref = kcore_seq(g);
+        let lp_ref = labelprop_seq(g, LP_ITERATIONS);
+        for threads in THREADS {
+            assert_eq!(spmv(g, &x, threads), spmv_ref, "spmv {name} t={threads}");
+            assert_eq!(kcore(g, threads), kcore_ref, "kcore {name} t={threads}");
+            assert_eq!(
+                labelprop(g, LP_ITERATIONS, threads),
+                lp_ref,
+                "labelprop {name} t={threads}"
+            );
+            combos += 3;
+        }
+    }
+    assert_eq!(combos, 81, "the sweep must cover exactly 81 combos");
+}

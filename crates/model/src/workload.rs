@@ -27,6 +27,12 @@ pub enum Workload {
     Community,
     /// Connected components (label exchange with indirect hooks).
     ConnComp,
+    /// Sparse matrix–vector multiply (GARDENIA; per-row FP dot products).
+    Spmv,
+    /// k-core decomposition (GARDENIA; synchronous peeling waves).
+    KCore,
+    /// Label propagation (GARDENIA; push-direction weighted majority vote).
+    LabelProp,
 }
 
 /// How a workload's outer iteration count scales with the input — consumed
@@ -62,6 +68,28 @@ impl Workload {
         ]
     }
 
+    /// The widened benchmark set: the nine Fig. 5 workloads plus the three
+    /// GARDENIA additions (SpMV, k-core, label propagation) that broaden
+    /// the `B` space beyond classic traversals. Paper-figure sweeps keep
+    /// iterating [`Workload::all`]; dynamic-engine and kernel-validation
+    /// sweeps use this.
+    pub fn extended() -> [Workload; 12] {
+        [
+            Workload::SsspBf,
+            Workload::SsspDelta,
+            Workload::Bfs,
+            Workload::Dfs,
+            Workload::PageRank,
+            Workload::PageRankDp,
+            Workload::TriangleCount,
+            Workload::Community,
+            Workload::ConnComp,
+            Workload::Spmv,
+            Workload::KCore,
+            Workload::LabelProp,
+        ]
+    }
+
     /// Short name used on the figures' x-axes.
     pub fn abbrev(&self) -> &'static str {
         match self {
@@ -74,6 +102,9 @@ impl Workload {
             Workload::TriangleCount => "TRI",
             Workload::Community => "COMM",
             Workload::ConnComp => "CC",
+            Workload::Spmv => "SPMV",
+            Workload::KCore => "KCORE",
+            Workload::LabelProp => "LP",
         }
     }
 
@@ -118,6 +149,20 @@ impl Workload {
             Workload::ConnComp => [
                 0.6, 0.0, 0.0, 0.0, 0.4, 0.0, 0.4, 0.5, 0.3, 0.6, 0.1, 0.4, 0.2,
             ],
+            // GARDENIA additions: SpMV is vertex-division FP with strong
+            // coalescing and read-only shared rows; k-core is peeling waves
+            // (push-pop frontier + reduction over remaining degrees) with
+            // heavy read-write shared counters; label propagation is a
+            // FP-weighted majority vote over read-write shared labels.
+            Workload::Spmv => [
+                0.8, 0.0, 0.0, 0.0, 0.2, 0.9, 0.7, 0.0, 0.6, 0.2, 0.3, 0.1, 0.2,
+            ],
+            Workload::KCore => [
+                0.5, 0.0, 0.0, 0.2, 0.3, 0.0, 0.7, 0.3, 0.3, 0.7, 0.2, 0.5, 0.3,
+            ],
+            Workload::LabelProp => [
+                0.6, 0.0, 0.0, 0.0, 0.4, 0.6, 0.7, 0.2, 0.4, 0.7, 0.2, 0.4, 0.3,
+            ],
         };
         BVector::new(v).expect("built-in workload profiles are valid")
     }
@@ -133,6 +178,9 @@ impl Workload {
             Workload::TriangleCount => IterationModel::Single,
             Workload::Community => IterationModel::Fixed(10),
             Workload::ConnComp => IterationModel::DiameterBound { factor: 0.5 },
+            Workload::Spmv => IterationModel::Single,
+            Workload::KCore => IterationModel::Fixed(12),
+            Workload::LabelProp => IterationModel::Fixed(15),
         }
     }
 
@@ -149,6 +197,9 @@ impl Workload {
             Workload::TriangleCount => 4.0,
             Workload::Community => 2.0,
             Workload::ConnComp => 1.0,
+            Workload::Spmv => 0.9,
+            Workload::KCore => 1.2,
+            Workload::LabelProp => 1.8,
         }
     }
 }
@@ -222,6 +273,34 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), 9);
+    }
+
+    #[test]
+    fn extended_set_appends_the_gardenia_workloads() {
+        let ext = Workload::extended();
+        assert_eq!(ext.len(), 12);
+        assert_eq!(&ext[..9], &Workload::all()[..], "Fig. 5 prefix preserved");
+        assert_eq!(
+            &ext[9..],
+            &[Workload::Spmv, Workload::KCore, Workload::LabelProp]
+        );
+        // Extended profiles obey the same phase-sum and uniqueness rules.
+        let mut names: Vec<_> = ext.iter().map(|w| w.abbrev()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 12);
+        for w in ext {
+            let phases: f64 = w.b_vector().as_array()[..5].iter().sum();
+            assert!((phases - 1.0).abs() < 0.06, "{w}: phases sum {phases}");
+            assert!(w.b_vector().get(7) > 0.0, "{w} missing B7");
+            assert!(w.work_per_edge() > 0.0);
+        }
+        // SpMV is FP and coalesced; k-core is not FP; LP is FP over
+        // read-write shared labels.
+        assert!(Workload::Spmv.b_vector().get(6) > 0.5);
+        assert_eq!(Workload::KCore.b_vector().get(6), 0.0);
+        assert!(Workload::LabelProp.b_vector().get(6) > 0.5);
+        assert!(Workload::LabelProp.b_vector().get(10) > 0.5);
     }
 
     #[test]

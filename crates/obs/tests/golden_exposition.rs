@@ -47,6 +47,29 @@ fn build_fixture() -> MetricsHub {
     let depth = hub.gauge("queue_depth", &[], "Requests waiting in the queue");
     depth.set(3.5);
 
+    // The dynamic-graph engine's counters: mid-run re-predictions by
+    // trigger and live migrations by destination accelerator. Frozen here
+    // so drift dashboards can rely on the exact series names
+    // `heteromap-dyngraph`'s telemetry registers.
+    let repred_drift = hub.counter(
+        "dyn_repredictions_total",
+        &[("trigger", "drift")],
+        "Mid-run re-predictions by trigger",
+    );
+    let repred_ivar = hub.counter(
+        "dyn_repredictions_total",
+        &[("trigger", "ivar")],
+        "Mid-run re-predictions by trigger",
+    );
+    let migrations = hub.counter(
+        "dyn_migrations_total",
+        &[("to", "multicore")],
+        "Live migrations by destination accelerator",
+    );
+    repred_drift.add(2);
+    repred_ivar.inc();
+    migrations.inc();
+
     // A histogram covering: empty buckets, interior buckets, and two
     // overflow samples that only the +Inf bucket catches.
     let latency = hub.histogram(
@@ -98,6 +121,11 @@ fn golden_file_spot_checks() {
         "le=\"+Inf\"",
         "latency_ms_sum{",
         "latency_ms_count{",
+        // Dynamic-engine series: re-prediction and migration events.
+        "# TYPE dyn_repredictions_total counter",
+        "dyn_repredictions_total{trigger=\"drift\"} 2",
+        "dyn_repredictions_total{trigger=\"ivar\"} 1",
+        "dyn_migrations_total{to=\"multicore\"} 1",
     ] {
         assert!(golden.contains(needle), "golden file lost {needle:?}");
     }
